@@ -1,0 +1,229 @@
+// Command edbench regenerates the paper's evaluation artifacts (every
+// table and figure of Section 4 plus the Sections 2–3 case study) on the
+// simulated substrate, prints the report tables, and optionally renders
+// the figures as SVG files.
+//
+// Usage:
+//
+//	edbench -exp all
+//	edbench -exp casestudy,figure8 -seed 42
+//	edbench -exp all -plots out/
+//
+// Available experiments: casestudy, figure3, figure4b, figure5, figure6,
+// figure7, figure8, table2, summary, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"extradeep/internal/experiments"
+	"extradeep/internal/report"
+)
+
+// chart is anything that can render itself as SVG.
+type chart interface {
+	SVG() (string, error)
+}
+
+// outcome is one experiment's rendered artifacts.
+type outcome struct {
+	text   string
+	charts map[string]chart // file stem → chart
+}
+
+// renderer pairs an experiment name with its runner.
+type renderer struct {
+	name string
+	run  func(seed int64) (outcome, error)
+}
+
+func runners() []renderer {
+	return []renderer{
+		{"casestudy", func(seed int64) (outcome, error) {
+			r, err := experiments.CaseStudy(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render()}, nil
+		}},
+		{"figure3", func(seed int64) (outcome, error) {
+			r, err := experiments.Figure3(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render(), charts: map[string]chart{"figure3": r.Chart()}}, nil
+		}},
+		{"figure4b", func(seed int64) (outcome, error) {
+			r, err := experiments.Figure4b(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			timeChart, costChart := r.Charts()
+			return outcome{text: r.Render(), charts: map[string]chart{
+				"figure4b_time": timeChart, "figure4b_cost": costChart,
+			}}, nil
+		}},
+		{"figure5", func(seed int64) (outcome, error) {
+			r, err := experiments.Figure5(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render(), charts: map[string]chart{"figure5": r.Chart()}}, nil
+		}},
+		{"figure6", func(seed int64) (outcome, error) {
+			r, err := experiments.Figure6(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render(), charts: map[string]chart{"figure6": r.Chart()}}, nil
+		}},
+		{"figure7", func(seed int64) (outcome, error) {
+			r, err := experiments.Figure7(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render(), charts: map[string]chart{"figure7": r.Chart()}}, nil
+		}},
+		{"figure8", func(int64) (outcome, error) {
+			r, err := experiments.Figure8()
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render(), charts: map[string]chart{"figure8": r.Chart()}}, nil
+		}},
+		{"table2", func(seed int64) (outcome, error) {
+			r, err := experiments.Table2(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render()}, nil
+		}},
+		{"summary", func(seed int64) (outcome, error) {
+			r, err := experiments.Summary(seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render()}, nil
+		}},
+		{"baselines", func(seed int64) (outcome, error) {
+			r, err := experiments.Baselines(seed, "cifar10")
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{text: r.Render()}, nil
+		}},
+		{"scalability", func(seed int64) (outcome, error) {
+			weak, err := experiments.Scalability(seed, "cifar10", true)
+			if err != nil {
+				return outcome{}, err
+			}
+			strong, err := experiments.Scalability(seed, "imagenet", false)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{
+				text: weak.Render() + "\n" + strong.Render(),
+				charts: map[string]chart{
+					"scalability_weak":   weak.Chart(),
+					"scalability_strong": strong.Chart(),
+				},
+			}, nil
+		}},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments to run (or 'all')")
+	seed := flag.Int64("seed", 7, "base random seed for the simulated measurements")
+	plotsDir := flag.String("plots", "", "write the figures as SVG files into this directory")
+	htmlPath := flag.String("html", "", "write a self-contained HTML report to this file")
+	flag.Parse()
+
+	wanted := make(map[string]bool)
+	all := *expFlag == "all"
+	for _, name := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+
+	known := runners()
+	if !all {
+		for name := range wanted {
+			found := false
+			for _, r := range known {
+				if r.name == name {
+					found = true
+				}
+			}
+			if !found && name != "all" {
+				fmt.Fprintf(os.Stderr, "edbench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	if *plotsDir != "" {
+		if err := os.MkdirAll(*plotsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	htmlReport := &report.Report{
+		Title:    "Extra-Deep reproduction report",
+		Subtitle: fmt.Sprintf("simulated substrate, seed %d — see EXPERIMENTS.md for paper-vs-measured notes", *seed),
+	}
+	for _, r := range known {
+		if !all && !wanted[r.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := r.run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.text)
+		elapsed := time.Since(start)
+		section := report.Section{Title: r.name, Text: out.text, Elapsed: elapsed}
+		stems := make([]string, 0, len(out.charts))
+		for stem := range out.charts {
+			stems = append(stems, stem)
+		}
+		sort.Strings(stems)
+		for _, stem := range stems {
+			svg, err := out.charts[stem].SVG()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edbench: rendering %s: %v\n", stem, err)
+				os.Exit(1)
+			}
+			section.SVGs = append(section.SVGs, svg)
+			if *plotsDir != "" {
+				path := filepath.Join(*plotsDir, stem+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("[wrote %s]\n", path)
+			}
+		}
+		htmlReport.Add(section)
+		fmt.Printf("[%s completed in %v]\n\n", r.name, elapsed.Round(time.Millisecond))
+	}
+	if *htmlPath != "" {
+		html, err := htmlReport.HTML()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*htmlPath, []byte(html), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", *htmlPath)
+	}
+}

@@ -1,0 +1,68 @@
+// Command edinstrument is Extra-Deep's automated instrumentation tool
+// (step (1) of the analysis process): it injects NVTX annotations into
+// Python training scripts so that user functions, training steps and
+// epochs appear in profiles.
+//
+// Usage:
+//
+//	edinstrument [-o output.py | -w] train.py
+//
+// With -w the file is rewritten in place; with -o the result goes to the
+// given path; otherwise it is printed to stdout. A summary of the injected
+// annotations is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"extradeep/internal/instrument"
+)
+
+func main() {
+	output := flag.String("o", "", "write the instrumented source to this file")
+	inPlace := flag.Bool("w", false, "rewrite the input file in place")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: edinstrument [-o output.py | -w] <file.py>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	out, report, err := instrument.Instrument(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *inPlace:
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+	case *output != "":
+		if err := os.WriteFile(*output, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Print(out)
+	}
+
+	fmt.Fprintf(os.Stderr, "instrumented %s: %d functions (%s), %d epoch loop(s), %d step loop(s), import added: %v\n",
+		path, len(report.FunctionsAnnotated), strings.Join(report.FunctionsAnnotated, ", "),
+		report.EpochLoops, report.StepLoops, report.ImportAdded)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edinstrument:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command edprofile runs a simulated profiling campaign (step (2) of the
+// analysis process) and writes one profile file per (configuration, rank,
+// repetition) into a directory, using the paper's app.x{n}.mpi{k}.r{r}
+// naming. The resulting directory is the input of `extradeep model`.
+//
+// Usage:
+//
+//	edprofile -benchmark cifar10 -system DEEP -strategy data \
+//	          -ranks 2,4,6,8,10 -reps 5 -out profiles/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"extradeep/internal/profile"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "cifar10", "benchmark name (cifar10, cifar100, imagenet, imdb, speechcommands)")
+	systemName := flag.String("system", "DEEP", "evaluation system (DEEP or JURECA)")
+	strategyName := flag.String("strategy", "data", "parallel strategy (data, tensor, pipeline)")
+	ranksList := flag.String("ranks", "2,4,6,8,10", "comma-separated rank counts to profile")
+	reps := flag.Int("reps", 5, "measurement repetitions per configuration")
+	weak := flag.Bool("weak", true, "weak scaling (false = strong scaling with fixed global batch)")
+	full := flag.Bool("full", false, "profile full epochs instead of the efficient sampling strategy")
+	sampleRanks := flag.Int("sample-ranks", 4, "number of representative ranks to trace per run (0 = all)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	out := flag.String("out", "profiles", "output directory")
+	layerDetail := flag.Bool("layer-detail", false, "emit one kernel per layer instead of per layer type")
+	chromeTrace := flag.String("chrome-trace", "", "additionally write rank 0 of the first configuration as a Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+	flag.Parse()
+
+	b, err := engine.ByName(*benchmark)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := hardware.ByName(*systemName)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := parallel.ByName(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	ranks, err := parseRanks(*ranksList)
+	if err != nil {
+		fatal(err)
+	}
+
+	gran := engine.GranularityType
+	if *layerDetail {
+		gran = engine.GranularityLayer
+	}
+	store := &profile.Store{Dir: *out}
+	written := 0
+	for _, r := range ranks {
+		cfg := engine.RunConfig{
+			System:      sys,
+			Strategy:    strat,
+			Ranks:       r,
+			WeakScaling: *weak,
+			Granularity: gran,
+			Seed:        *seed,
+			SampleRanks: *sampleRanks,
+		}
+		for rep := 1; rep <= *reps; rep++ {
+			profiles, err := engine.Profile(b, cfg, rep, !*full)
+			if err != nil {
+				fatal(fmt.Errorf("profiling %d ranks rep %d: %w", r, rep, err))
+			}
+			for _, p := range profiles {
+				if err := store.Write(p); err != nil {
+					fatal(err)
+				}
+				written++
+			}
+			if *chromeTrace != "" && rep == 1 && r == ranks[0] && len(profiles) > 0 {
+				f, err := os.Create(*chromeTrace)
+				if err != nil {
+					fatal(err)
+				}
+				if err := profiles[0].Trace.WriteChromeTrace(f, profiles[0].Rank); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote Chrome trace to %s\n", *chromeTrace)
+			}
+		}
+		fmt.Printf("profiled %s on %s: %d ranks, %d repetitions\n", *benchmark, *systemName, r, *reps)
+	}
+	fmt.Printf("wrote %d profiles to %s\n", written, *out)
+}
+
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid rank count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rank counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edprofile:", err)
+	os.Exit(1)
+}

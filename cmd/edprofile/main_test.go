@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseRanks(t *testing.T) {
+	got, err := parseRanks("2,4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseRanksSkipsEmptyFields(t *testing.T) {
+	got, err := parseRanks("2,,4,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestParseRanksRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "abc", "2,abc", "0", "-4", ","} {
+		if _, err := parseRanks(in); err == nil {
+			t.Errorf("parseRanks(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Command extradeep is the Extra-Deep analysis front end: it reads a
+// directory of profiles (steps (3)–(5) of the analysis process), runs the
+// aggregation pipeline, creates kernel and application performance models,
+// and reports scalability, efficiency, cost, and bottleneck analyses.
+//
+// Usage:
+//
+//	extradeep -profiles profiles/ -benchmark cifar10 [-weak] \
+//	          [-predict 40] [-budget 10] [-max-time 600]
+//
+// The training-setup values (B, D_t, D_v, G, M of Section 2.3.1) are
+// derived from the built-in benchmark named with -benchmark; for foreign
+// profiles they can be given explicitly with -batch/-train-samples/
+// -val-samples/-model-parallel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"extradeep/internal/aggregate"
+	"extradeep/internal/analysis"
+	"extradeep/internal/core"
+	"extradeep/internal/diagnose"
+	"extradeep/internal/epoch"
+	"extradeep/internal/importer"
+	"extradeep/internal/measurement"
+	"extradeep/internal/profile"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func main() {
+	profilesDir := flag.String("profiles", "profiles", "directory of profile files")
+	benchmark := flag.String("benchmark", "", "built-in benchmark name to derive training-setup values from")
+	strategyName := flag.String("strategy", "data", "parallel strategy the profiles were produced with")
+	weak := flag.Bool("weak", true, "profiles come from weak-scaling runs")
+	batch := flag.Float64("batch", 0, "per-worker batch size B (overrides -benchmark)")
+	trainSamples := flag.Float64("train-samples", 0, "training-set size D_t (overrides -benchmark)")
+	valSamples := flag.Float64("val-samples", 0, "validation-set size D_v (overrides -benchmark)")
+	modelParallel := flag.Float64("model-parallel", 1, "degree of model parallelism M")
+	predict := flag.Float64("predict", 0, "additionally predict the training time per epoch at this rank count")
+	budget := flag.Float64("budget", 0, "budget in core-hours for the cost-effectiveness analysis (0 = unbounded)")
+	maxTime := flag.Float64("max-time", 0, "maximum training time per epoch in seconds (0 = unbounded)")
+	systemName := flag.String("system", "DEEP", "system the profiles were measured on (for ϱ of the cost model)")
+	topKernels := flag.Int("top", 10, "number of kernels to list in the bottleneck ranking")
+	format := flag.String("format", "json", "profile format: json (native) or csv (foreign-profiler interchange)")
+	saveModels := flag.String("save-models", "", "write the fitted models to this JSON file")
+	loadModels := flag.String("models", "", "skip profiling/modeling and load previously saved models from this file (prediction-only mode)")
+	checkOnly := flag.Bool("check", false, "diagnose the profile set's measurement quality and exit")
+	flag.Parse()
+
+	if *loadModels != "" {
+		predictOnly(*loadModels, *predict, *systemName, *budget, *maxTime)
+		return
+	}
+
+	var profiles []*profile.Profile
+	var err error
+	switch *format {
+	case "json":
+		store := &profile.Store{Dir: *profilesDir}
+		profiles, err = store.ReadAll()
+	case "csv":
+		profiles, err = importer.ImportDir(*profilesDir)
+	default:
+		err = fmt.Errorf("unknown profile format %q (have json, csv)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(profiles) == 0 {
+		fatal(fmt.Errorf("no profiles found in %s", *profilesDir))
+	}
+	fmt.Printf("loaded %d profiles from %s\n", len(profiles), *profilesDir)
+
+	if *checkOnly {
+		rep := diagnose.Check(profiles, diagnose.Options{})
+		fmt.Print(rep.Render())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	strat, err := parallel.ByName(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	setup, err := buildSetup(*benchmark, strat, *weak, *batch, *trainSamples, *valSamples, *modelParallel)
+	if err != nil {
+		fatal(err)
+	}
+
+	aggs, err := core.AggregateProfiles(profiles, aggregate.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("aggregated %d application configurations\n", len(aggs))
+
+	models, err := core.BuildModels(aggs, setup, core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if *saveModels != "" {
+		if err := core.SaveModels(*saveModels, models); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d kernel models and %d application models to %s\n",
+			models.KernelCount(), len(models.App), *saveModels)
+	}
+
+	// --- application models --------------------------------------------
+	fmt.Println("\napplication models (training time per epoch):")
+	for _, path := range []string{epoch.AppPath, epoch.CompPath, epoch.CommPath, epoch.MemPath} {
+		if m, ok := models.App[path]; ok {
+			fmt.Printf("  %-20s T(p) = %s   (CV-SMAPE %.2f%%, R² %.4f)\n", path, m.Function, m.SMAPE, m.R2)
+		}
+	}
+
+	// --- kernel bottleneck ranking --------------------------------------
+	timeModels := models.Kernel[measurement.MetricTime]
+	points := aggs[0].Point
+	baseline := points.Clone()
+	maxPoint := aggs[len(aggs)-1].Point.Clone()
+	ranked := analysis.RankByGrowth(timeModels, baseline, maxPoint)
+	fmt.Printf("\ntop %d kernels by growth trend (%s -> %s):\n", *topKernels, baseline.Key(), maxPoint.Key())
+	for i, k := range ranked {
+		if i >= *topKernels {
+			break
+		}
+		fmt.Printf("  %2d. %-55s ×%-8.2f %s  %s\n", i+1, k.Callpath, k.GrowthFactor, k.Growth, k.Model.Function)
+	}
+
+	// Kernels ranked by achieved speedup: which functions benefit least
+	// from scaling up (Section 3.1)?
+	bySpeedup := analysis.RankBySpeedup(timeModels, baseline, maxPoint)
+	if n := len(bySpeedup); n > 0 {
+		fmt.Printf("\nkernels benefiting least from scaling up (Δ %s -> %s):\n", baseline.Key(), maxPoint.Key())
+		shown := 0
+		for i := n - 1; i >= 0 && shown < 5; i-- {
+			k := bySpeedup[i]
+			fmt.Printf("  %-55s Δ = %+.1f%%\n", k.Callpath, k.SpeedupPct)
+			shown++
+		}
+	}
+
+	appModel, ok := models.App[epoch.AppPath]
+	if !ok {
+		fatal(fmt.Errorf("no application runtime model"))
+	}
+
+	// --- optional prediction (Q1) ---------------------------------------
+	if *predict > 0 {
+		lo, hi := appModel.PredictInterval(0.95, *predict)
+		fmt.Printf("\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
+			*predict, appModel.Predict(*predict), lo, hi)
+	}
+
+	// --- speedup / efficiency / cost ------------------------------------
+	sys, err := hardware.ByName(*systemName)
+	if err != nil {
+		fatal(err)
+	}
+	var xs []float64
+	for _, agg := range aggs {
+		xs = append(xs, agg.Point[0])
+	}
+	sort.Float64s(xs)
+	effs, err := analysis.Efficiencies(appModel.Function, xs)
+	if err != nil {
+		fatal(err)
+	}
+	cm := analysis.CostModel{Runtime: appModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
+	fmt.Println("\nscalability and cost per measured configuration:")
+	fmt.Printf("  %6s  %12s  %12s  %12s\n", "ranks", "T(p) [s]", "efficiency", "cost [core-h]")
+	for i, x := range xs {
+		fmt.Printf("  %6.0f  %12.2f  %12.3f  %12.3f\n", x, appModel.Predict(x), effs[i], cm.CoreHours(x))
+	}
+
+	// --- cost-effective configuration (Q5) ------------------------------
+	best, err := analysis.MostCostEffective(appModel.Function, cm, xs, analysis.Constraint{MaxTime: *maxTime, Budget: *budget})
+	if err != nil {
+		fmt.Printf("\ncost-effectiveness: %v\n", err)
+		return
+	}
+	fmt.Printf("\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
+		best.Ranks, best.Time, best.Cost, best.Efficiency)
+}
+
+// buildSetup derives the epoch.SetupFunc either from a built-in benchmark
+// or from explicit flag values.
+func buildSetup(benchmark string, strat parallel.Strategy, weak bool, batch, trainSamples, valSamples, m float64) (epoch.SetupFunc, error) {
+	if benchmark != "" {
+		b, err := engine.ByName(benchmark)
+		if err != nil {
+			return nil, err
+		}
+		return engine.SetupFunc(b, strat, weak), nil
+	}
+	if batch <= 0 || trainSamples <= 0 {
+		return nil, fmt.Errorf("either -benchmark or -batch and -train-samples must be given")
+	}
+	return func(point measurement.Point) epoch.Params {
+		ranks := point[0]
+		train := trainSamples
+		if weak {
+			train *= ranks
+		}
+		return epoch.Params{
+			BatchSize:     batch,
+			TrainSamples:  train,
+			ValSamples:    valSamples,
+			DataParallel:  ranks,
+			ModelParallel: m,
+		}
+	}, nil
+}
+
+// predictOnly answers questions from previously saved models without any
+// profiles — the cheap re-analysis path.
+func predictOnly(modelsPath string, predict float64, systemName string, budget, maxTime float64) {
+	models, err := core.LoadModels(modelsPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d kernel models and %d application models from %s\n",
+		models.KernelCount(), len(models.App), modelsPath)
+	for _, path := range []string{epoch.AppPath, epoch.CompPath, epoch.CommPath, epoch.MemPath} {
+		if m, ok := models.App[path]; ok {
+			fmt.Printf("  %-20s T(p) = %s\n", path, m.Function)
+		}
+	}
+	appModel, ok := models.App[epoch.AppPath]
+	if !ok {
+		fatal(fmt.Errorf("model file has no application runtime model"))
+	}
+	if predict > 0 {
+		lo, hi := appModel.PredictInterval(0.95, predict)
+		fmt.Printf("\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
+			predict, appModel.Predict(predict), lo, hi)
+	}
+	if budget > 0 || maxTime > 0 {
+		sys, err := hardware.ByName(systemName)
+		if err != nil {
+			fatal(err)
+		}
+		cm := analysis.CostModel{Runtime: appModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
+		var xs []float64
+		for _, p := range appModel.Points {
+			xs = append(xs, p[0])
+		}
+		best, err := analysis.MostCostEffective(appModel.Function, cm, xs, analysis.Constraint{MaxTime: maxTime, Budget: budget})
+		if err != nil {
+			fmt.Printf("\ncost-effectiveness: %v\n", err)
+			return
+		}
+		fmt.Printf("\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h)\n",
+			best.Ranks, best.Time, best.Cost)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "extradeep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package extradeep is a from-scratch Go reproduction of "Extra-Deep:
+// Automated Empirical Performance Modeling for Distributed Deep Learning"
+// (Ritter & Wolf, SC-W 2023): an automated empirical performance-modeling
+// framework for distributed DNN training, together with the complete
+// simulated measurement substrate (clusters, networks, DNN architectures,
+// datasets, parallel strategies, profiler) needed to reproduce the paper's
+// evaluation.
+//
+// The library lives under internal/: see internal/core for the pipeline
+// facade, internal/modeling for PMNF model creation, internal/aggregate
+// for the efficient-sampling aggregation, internal/analysis for the
+// scalability/efficiency/cost layer, and internal/experiments for the
+// regeneration of every table and figure of the paper. The cmd/ tree holds
+// the command-line tools and examples/ runnable demonstrations.
+//
+// The benchmarks in bench_test.go regenerate each paper artifact; run them
+// with:
+//
+//	go test -bench=. -benchmem
+package extradeep

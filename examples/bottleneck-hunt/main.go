@@ -1,0 +1,82 @@
+// Bottleneck hunt: profile a distributed training application at a few
+// small scales, model every kernel, and rank the kernels by their growth
+// trend to find the latent scalability bottleneck (the paper's Q3 and
+// Section 3.1).
+//
+// Run with:
+//
+//	go run ./examples/bottleneck-hunt [-benchmark speechcommands] [-system JURECA]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/core"
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func main() {
+	benchName := flag.String("benchmark", "speechcommands", "benchmark to analyze")
+	sysName := flag.String("system", "JURECA", "system to simulate (DEEP or JURECA)")
+	flag.Parse()
+
+	b, err := engine.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := hardware.ByName(*sysName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat := parallel.DataParallel{FusionBuckets: 4}
+
+	fmt.Printf("Profiling %s on %s at small scales (4–64 ranks, 3 repetitions)…\n\n", *benchName, sys.Name)
+	camp := core.Campaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      sys,
+			Strategy:    strat,
+			WeakScaling: true,
+			Seed:        11,
+			SampleRanks: 4,
+		},
+		ModelingRanks: []int{4, 8, 16, 32, 64},
+		Reps:          3,
+	}
+	res, err := core.RunCampaign(camp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rank every kernel's runtime model by its predicted growth from the
+	// smallest measured scale to a 4× extrapolation target.
+	timeModels := res.Models.Kernel[measurement.MetricTime]
+	baseline := measurement.Point{4}
+	target := measurement.Point{256}
+	ranked := analysis.RankByGrowth(timeModels, baseline, target)
+
+	fmt.Printf("kernels ranked by growth trend (%s -> %s ranks):\n\n", baseline.Key(), target.Key())
+	fmt.Printf("%4s  %-60s %-10s %s\n", "rank", "kernel", "growth", "model")
+	for i, k := range ranked {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("%4d  %-60s ×%-9.2f %s\n", i+1, k.Callpath, k.GrowthFactor, k.Model.Function)
+	}
+
+	app := res.Models.App[epoch.AppPath]
+	comm := res.Models.App[epoch.CommPath]
+	fmt.Printf("\ntraining time per epoch:   T(p) = %s\n", app.Function)
+	fmt.Printf("communication per epoch:   T(p) = %s\n", comm.Function)
+	fmt.Printf("communication share:       %.1f%% at 4 ranks -> %.1f%% at 256 ranks\n",
+		100*comm.Predict(4)/app.Predict(4), 100*comm.Predict(256)/app.Predict(256))
+	fmt.Println("\nThe fastest-growing kernels are the candidates for optimization")
+	fmt.Println("(tensor fusion, overlap, or a different gradient-exchange strategy).")
+}

@@ -1,0 +1,80 @@
+// Cost planner: find the most cost-effective training configuration for a
+// strong-scaling training task under a compute budget and a deadline — the
+// paper's Section 3.3 / Fig. 4 workflow.
+//
+// Run with:
+//
+//	go run ./examples/cost-planner [-budget 5.5] [-max-time 70]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/core"
+	"extradeep/internal/epoch"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func main() {
+	budget := flag.Float64("budget", 8, "compute budget in core-hours per epoch")
+	maxTime := flag.Float64("max-time", 110, "deadline: maximum training time per epoch in seconds")
+	flag.Parse()
+
+	b, err := engine.ByName("imagenet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := hardware.DEEP()
+
+	fmt.Println("Profiling ImageNet/EfficientNet-B0 under strong scaling (fixed global batch)…")
+	camp := core.Campaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      sys,
+			Strategy:    parallel.DataParallel{FusionBuckets: 4},
+			WeakScaling: false, // strong scaling
+			Seed:        23,
+			SampleRanks: 4,
+		},
+		ModelingRanks: []int{2, 4, 6, 8, 10},
+		Reps:          3,
+	}
+	res, err := core.RunCampaign(camp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := res.Models.App[epoch.AppPath]
+	fmt.Printf("\nruntime model: T(p) = %s\n", model.Function)
+
+	cm := analysis.CostModel{Runtime: model.Function, CoresPerRank: float64(sys.CoresPerRank)}
+	candidates := []float64{8, 16, 24, 32, 40, 48, 56, 64}
+	constraint := analysis.Constraint{MaxTime: *maxTime, Budget: *budget}
+
+	fs, err := analysis.Evaluate(model.Function, cm, candidates, constraint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconstraints: deadline %.0f s/epoch, budget %.2f core-hours/epoch\n\n", *maxTime, *budget)
+	fmt.Printf("%6s  %10s  %14s  %9s  %9s  %10s\n", "ranks", "T(p) [s]", "cost [core-h]", "deadline", "budget", "efficiency")
+	for _, f := range fs {
+		fmt.Printf("%6.0f  %10.2f  %14.3f  %9v  %9v  %10.3f\n",
+			f.Ranks, f.Time, f.Cost, f.TimeOK, f.CostOK, f.Efficiency)
+	}
+
+	best, err := analysis.MostCostEffective(model.Function, cm, candidates, constraint)
+	switch {
+	case errors.Is(err, analysis.ErrNoFeasibleConfig):
+		fmt.Println("\nNo configuration satisfies both constraints — relax the deadline or raise the budget.")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("\nmost cost-effective configuration: %.0f ranks (%.1f s/epoch, %.2f core-hours/epoch)\n",
+			best.Ranks, best.Time, best.Cost)
+	}
+}

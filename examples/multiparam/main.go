@@ -1,0 +1,89 @@
+// Multi-parameter modeling: build a two-parameter performance model
+// T(p, B) over the number of MPI ranks *and* the per-worker batch size —
+// the P(x₁, x₂) scenario from the paper's Section 2.3 — and use it to pick
+// a batch size for a target scale.
+//
+// Run with:
+//
+//	go run ./examples/multiparam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extradeep/internal/core"
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func main() {
+	b, err := engine.ByName("cifar10")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Profiling a 5×5 grid over ranks × batch size (2 repetitions per cell)…")
+	res, err := core.RunGridCampaign(core.GridCampaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      hardware.DEEP(),
+			Strategy:    parallel.DataParallel{FusionBuckets: 4},
+			WeakScaling: true,
+			Seed:        13,
+			SampleRanks: 2,
+		},
+		Ranks:   []int{2, 4, 6, 8, 10},
+		Batches: []int{32, 64, 128, 256, 512},
+		Reps:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Models.App[epoch.AppPath]
+	fmt.Printf("\ntwo-parameter model: T(p, B) = %s\n", m.Function)
+	fmt.Printf("fit quality: CV-SMAPE %.2f%%\n\n", m.SMAPE)
+
+	// Evaluate the surface: per-epoch training time across the grid.
+	fmt.Printf("%8s", "ranks\\B")
+	batches := []float64{32, 64, 128, 256, 512, 1024}
+	for _, bt := range batches {
+		fmt.Printf("%9.0f", bt)
+	}
+	fmt.Println()
+	for _, p := range []float64{4, 16, 64} {
+		fmt.Printf("%8.0f", p)
+		for _, bt := range batches {
+			fmt.Printf("%8.1fs", m.Function.Eval(p, bt))
+		}
+		fmt.Println()
+	}
+
+	// Which batch size minimizes the predicted epoch time at 64 ranks?
+	best, bestT := 0.0, 1e18
+	for _, bt := range batches {
+		if t := m.Function.Eval(64, bt); t < bestT {
+			best, bestT = bt, t
+		}
+	}
+	fmt.Printf("\npredicted best batch size at 64 ranks: %.0f (%.1f s/epoch)\n", best, bestT)
+
+	// Compare one held-out measurement against the surface.
+	actual, ok := res.ActualAppMedian(epoch.AppPath, measurement.Point{8, 128})
+	if ok {
+		pred := m.Function.Eval(8, 128)
+		fmt.Printf("sanity: measured T(8,128) = %.1f s, model = %.1f s (%.1f%% off)\n",
+			actual, pred, 100*abs(pred-actual)/actual)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,44 @@
+// Quickstart: create an empirical performance model from a handful of
+// measurements — the minimal Extra-Deep workflow.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+)
+
+func main() {
+	// Measured training times per epoch (seconds) of some application at
+	// five scales — the minimum Extra-Deep needs to distinguish
+	// logarithmic, linear and polynomial growth.
+	var series measurement.Series
+	series.Add(measurement.Point{2}, 161.1, 158.9, 160.2) // 3 repetitions
+	series.Add(measurement.Point{4}, 165.7, 167.0, 166.1) // per measured
+	series.Add(measurement.Point{8}, 172.9, 174.5, 173.3) // scale
+	series.Add(measurement.Point{16}, 181.8, 183.0, 182.5)
+	series.Add(measurement.Point{32}, 192.4, 190.9, 191.7)
+
+	// Fit the Performance Model Normal Form: Extra-Deep searches the
+	// hypothesis space, fits coefficients by regression, and selects the
+	// best model by cross-validated SMAPE.
+	model, err := modeling.FitSeries(&series, modeling.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:    T(p) = %s\n", model.Function)
+	fmt.Printf("quality:  CV-SMAPE %.2f%%, R² %.4f\n\n", model.SMAPE, model.R2)
+
+	// Extrapolate to unmeasured scales, with 95% confidence intervals.
+	for _, p := range []float64{64, 128, 256} {
+		lo, hi := model.PredictInterval(0.95, p)
+		fmt.Printf("T(%3.0f) = %7.1f s   (95%% CI [%.1f, %.1f])\n", p, model.Predict(p), lo, hi)
+	}
+}

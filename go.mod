@@ -1,0 +1,3 @@
+module extradeep
+
+go 1.22

@@ -1,0 +1,490 @@
+// Package aggregate implements Extra-Deep's measurement preprocessing and
+// aggregation pipeline (Fig. 2 of the paper), which makes the efficient
+// sampling strategy possible:
+//
+//  1. Within each profiled training/validation step, all metric values of a
+//     kernel's executions are summed (Eq. 1), yielding v_nkr for step n,
+//     rank k, repetition r. Kernels executed asynchronously between two
+//     steps are attributed to the following step and aggregated the same
+//     way.
+//  2. Per rank and repetition, the median over steps gives ṽ_kr.
+//  3. Per repetition, the median over ranks gives Ṽ_r, and the median over
+//     repetitions gives Ṽ.
+//  4. Kernels observed in fewer than five application configurations are
+//     filtered out before modeling (handled by
+//     measurement.Experiment.FilterInsufficient).
+//
+// Training and validation steps are aggregated separately because the
+// epoch extrapolation (Eq. 4) weighs them with different step counts.
+// The first epoch is treated as warm-up and excluded, mirroring the
+// paper's handling of framework initialization effects.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"extradeep/internal/calltree"
+	"extradeep/internal/mathutil"
+	"extradeep/internal/measurement"
+	"extradeep/internal/profile"
+	"extradeep/internal/trace"
+)
+
+// Options configures the aggregation pipeline.
+type Options struct {
+	// SkipWarmupEpochs is the number of leading epochs whose measurements
+	// are discarded. The default (when the trace has more than one epoch)
+	// is 1, per the paper. Traces with a single epoch are used as-is.
+	SkipWarmupEpochs int
+	// UseMean aggregates with means instead of medians across steps,
+	// ranks and repetitions (for the noise-resilience ablation).
+	UseMean bool
+}
+
+// DefaultOptions returns the paper's configuration: one warm-up epoch
+// skipped, median aggregation.
+func DefaultOptions() Options { return Options{SkipWarmupEpochs: 1} }
+
+// StepValue carries a per-step metric value separated by phase.
+type StepValue struct {
+	// Train is the per-training-step value.
+	Train float64
+	// Validation is the per-validation-step value.
+	Validation float64
+}
+
+// Add returns the component-wise sum of two step values.
+func (v StepValue) Add(w StepValue) StepValue {
+	return StepValue{Train: v.Train + w.Train, Validation: v.Validation + w.Validation}
+}
+
+// KernelAggregate is the fully aggregated measurement of one kernel at one
+// application configuration.
+type KernelAggregate struct {
+	// Callpath identifies the kernel, e.g. "App->train->EigenMetaKernel".
+	Callpath string
+	// Name is the kernel's own name.
+	Name string
+	// Kind classifies the kernel.
+	Kind calltree.Kind
+	// PerRep holds, per metric, the per-repetition aggregated values Ṽ_r
+	// (median over steps, then ranks) in repetition order.
+	PerRep map[measurement.Metric][]StepValue
+	// Value holds, per metric, the final aggregate Ṽ (median over
+	// repetitions of PerRep).
+	Value map[measurement.Metric]StepValue
+	// Ranks is the number of distinct ranks the kernel was observed on.
+	Ranks int
+	// StepsObserved is the number of profiled steps (across phases) the
+	// kernel was observed in, summed over ranks and repetitions; a kernel
+	// seen in only one step or rank is usually performance-irrelevant.
+	StepsObserved int
+}
+
+// Category returns the kernel's phase category.
+func (k *KernelAggregate) Category() calltree.Category { return calltree.CategoryOf(k.Kind) }
+
+// ConfigAggregate is the aggregation result for one application
+// configuration (one measurement point), the "Extra-Deep object" of Fig. 1.
+type ConfigAggregate struct {
+	// App is the application name.
+	App string
+	// Params are the execution-parameter names.
+	Params []string
+	// Point is the application configuration.
+	Point measurement.Point
+	// Kernels maps callpath → kernel aggregate.
+	Kernels map[string]*KernelAggregate
+	// Categories holds, per phase category and metric, the sum of the
+	// member kernels' final aggregates (the paper's Ṽ_comp, Ṽ_comm,
+	// Ṽ_mem of Eq. 6) and the corresponding per-repetition sums.
+	Categories map[calltree.Category]map[measurement.Metric]StepValue
+	// CategoriesPerRep mirrors Categories per repetition, for run-to-run
+	// variation analysis.
+	CategoriesPerRep map[calltree.Category]map[measurement.Metric][]StepValue
+	// Reps is the number of measurement repetitions aggregated.
+	Reps int
+	// TrainSteps and ValidationSteps are the profiled step counts per
+	// epoch actually observed (after warm-up removal), per repetition of
+	// rank 0 — used for sanity checks and overhead accounting.
+	TrainSteps, ValidationSteps int
+	// WallTimes are the per-profile wall-clock times, for profiling
+	// overhead accounting (Fig. 8).
+	WallTimes []float64
+}
+
+// kernelKey returns the aggregation key for an event: the callpath when
+// set, the bare name otherwise.
+func kernelKey(e trace.Event) string {
+	if e.Callpath != "" {
+		return e.Callpath
+	}
+	return e.Name
+}
+
+// metricValue extracts the value of metric m from an event: duration for
+// time, 1 for visits, transferred bytes for bytes.
+func metricValue(e trace.Event, m measurement.Metric) float64 {
+	switch m {
+	case measurement.MetricTime:
+		return e.Duration
+	case measurement.MetricVisits:
+		return e.Visits()
+	case measurement.MetricBytes:
+		return e.Bytes
+	default:
+		return 0
+	}
+}
+
+// metricsFor returns the metrics recorded for a kernel kind: memory
+// operations additionally carry transferred bytes.
+func metricsFor(kind calltree.Kind) []measurement.Metric {
+	if calltree.CategoryOf(kind) == calltree.CategoryMemory {
+		return []measurement.Metric{measurement.MetricTime, measurement.MetricVisits, measurement.MetricBytes}
+	}
+	return []measurement.Metric{measurement.MetricTime, measurement.MetricVisits}
+}
+
+// reduce aggregates a slice with median (default) or mean.
+func reduce(xs []float64, useMean bool) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if useMean {
+		return mathutil.MustMean(xs)
+	}
+	return mathutil.MustMedian(xs)
+}
+
+// perStepSums computes step (1) of the pipeline for one trace: for every
+// kernel and metric, the per-step sums v_n, separated by phase. Steps of
+// skipped (warm-up) epochs are excluded. Asynchronous events between steps
+// are attributed to the following step.
+type stepSums struct {
+	// sums maps kernel key → metric → per-step values (aligned with the
+	// kept step indices of that phase).
+	train, validation map[string]map[measurement.Metric][]float64
+	kinds             map[string]calltree.Kind
+	names             map[string]string
+	observed          map[string]int // steps with ≥1 event, per kernel
+}
+
+func perStepSums(tr *trace.Trace, skipEpochs []int, trainIdx, valIdx []int) stepSums {
+	s := stepSums{
+		train:      make(map[string]map[measurement.Metric][]float64),
+		validation: make(map[string]map[measurement.Metric][]float64),
+		kinds:      make(map[string]calltree.Kind),
+		names:      make(map[string]string),
+		observed:   make(map[string]int),
+	}
+	skip := make(map[int]bool, len(skipEpochs))
+	for _, e := range skipEpochs {
+		skip[e] = true
+	}
+	// Map global step index → (phase, position within kept steps).
+	type slot struct {
+		phase trace.Phase
+		pos   int
+	}
+	slots := make(map[int]slot, len(trainIdx)+len(valIdx))
+	for pos, i := range trainIdx {
+		slots[i] = slot{trace.PhaseTrain, pos}
+	}
+	for pos, i := range valIdx {
+		slots[i] = slot{trace.PhaseValidation, pos}
+	}
+
+	ensure := func(m map[string]map[measurement.Metric][]float64, key string, kind calltree.Kind, n int) map[measurement.Metric][]float64 {
+		byMetric := m[key]
+		if byMetric == nil {
+			byMetric = make(map[measurement.Metric][]float64)
+			for _, metric := range metricsFor(kind) {
+				byMetric[metric] = make([]float64, n)
+			}
+			m[key] = byMetric
+		}
+		return byMetric
+	}
+
+	// Track which (kernel, step) pairs saw events, to count observations.
+	type obsKey struct {
+		kernel string
+		step   int
+	}
+	seen := make(map[obsKey]bool)
+
+	for _, e := range tr.Events {
+		stepIdx := tr.StepOf(e.Start)
+		if stepIdx == -1 {
+			// Asynchronous kernel: attribute to the following step, per
+			// the paper's between-step handling.
+			stepIdx = tr.FollowingStep(e.Start)
+			if stepIdx == -1 {
+				continue // after the last step: outside the profiled window
+			}
+		}
+		st := tr.Steps[stepIdx]
+		if skip[st.Epoch] {
+			continue
+		}
+		sl, ok := slots[stepIdx]
+		if !ok {
+			continue
+		}
+		key := kernelKey(e)
+		s.kinds[key] = e.Kind
+		s.names[key] = e.Name
+		var byMetric map[measurement.Metric][]float64
+		if sl.phase == trace.PhaseTrain {
+			byMetric = ensure(s.train, key, e.Kind, len(trainIdx))
+		} else {
+			byMetric = ensure(s.validation, key, e.Kind, len(valIdx))
+		}
+		for _, metric := range metricsFor(e.Kind) {
+			byMetric[metric][sl.pos] += metricValue(e, metric)
+		}
+		ok2 := obsKey{kernel: key, step: stepIdx}
+		if !seen[ok2] {
+			seen[ok2] = true
+			s.observed[key]++
+		}
+	}
+	return s
+}
+
+// Aggregate runs the full pipeline on the profiles of one application
+// configuration (all ranks, all repetitions of one measurement point).
+// The profiles must agree on app, params and config.
+func Aggregate(profiles []*profile.Profile, opts Options) (*ConfigAggregate, error) {
+	if len(profiles) == 0 {
+		return nil, errors.New("aggregate: no profiles")
+	}
+	first := profiles[0]
+	for _, p := range profiles[1:] {
+		if p.App != first.App || !measurement.Point(p.Config).Equal(measurement.Point(first.Config)) {
+			return nil, fmt.Errorf("aggregate: mixed configurations: %s%v vs %s%v",
+				first.App, first.Config, p.App, p.Config)
+		}
+	}
+
+	// Group by repetition, then by rank.
+	byRep := make(map[int][]*profile.Profile)
+	for _, p := range profiles {
+		byRep[p.Rep] = append(byRep[p.Rep], p)
+	}
+	reps := make([]int, 0, len(byRep))
+	for r := range byRep {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+
+	agg := &ConfigAggregate{
+		App:              first.App,
+		Params:           append([]string(nil), first.Params...),
+		Point:            measurement.Point(first.Config).Clone(),
+		Kernels:          make(map[string]*KernelAggregate),
+		Categories:       make(map[calltree.Category]map[measurement.Metric]StepValue),
+		CategoriesPerRep: make(map[calltree.Category]map[measurement.Metric][]StepValue),
+		Reps:             len(reps),
+	}
+
+	// perRankValues[key][metric] collects, for the current repetition,
+	// the per-rank reduced (median-over-steps) values.
+	type repResult struct {
+		values map[string]map[measurement.Metric]StepValue
+	}
+	var repResults []repResult
+	kinds := make(map[string]calltree.Kind)
+	names := make(map[string]string)
+	rankSets := make(map[string]map[int]bool)
+	stepsObserved := make(map[string]int)
+
+	for _, rep := range reps {
+		group := byRep[rep]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Rank < group[j].Rank })
+		// perRank[key][metric] → per-rank slice of ṽ_kr values.
+		perRankTrain := make(map[string]map[measurement.Metric][]float64)
+		perRankVal := make(map[string]map[measurement.Metric][]float64)
+
+		for _, p := range group {
+			tr := &p.Trace
+			skipEpochs := warmupEpochs(tr, opts.SkipWarmupEpochs)
+			trainIdx := tr.StepsOfPhase(trace.PhaseTrain, skipEpochs...)
+			valIdx := tr.StepsOfPhase(trace.PhaseValidation, skipEpochs...)
+			if agg.TrainSteps == 0 && p.Rank == 0 {
+				agg.TrainSteps = len(trainIdx)
+				agg.ValidationSteps = len(valIdx)
+			}
+			sums := perStepSums(tr, skipEpochs, trainIdx, valIdx)
+			for key, byMetric := range sums.train {
+				kinds[key] = sums.kinds[key]
+				names[key] = sums.names[key]
+				addRankValue(perRankTrain, key, byMetric, opts.UseMean)
+			}
+			for key, byMetric := range sums.validation {
+				kinds[key] = sums.kinds[key]
+				names[key] = sums.names[key]
+				addRankValue(perRankVal, key, byMetric, opts.UseMean)
+			}
+			for key, n := range sums.observed {
+				stepsObserved[key] += n
+				rs := rankSets[key]
+				if rs == nil {
+					rs = make(map[int]bool)
+					rankSets[key] = rs
+				}
+				rs[p.Rank] = true
+			}
+			agg.WallTimes = append(agg.WallTimes, p.WallTime)
+		}
+
+		// Step (2): median over ranks.
+		rr := repResult{values: make(map[string]map[measurement.Metric]StepValue)}
+		allKeys := make(map[string]bool)
+		for k := range perRankTrain {
+			allKeys[k] = true
+		}
+		for k := range perRankVal {
+			allKeys[k] = true
+		}
+		for key := range allKeys {
+			byMetric := make(map[measurement.Metric]StepValue)
+			for _, metric := range metricsFor(kinds[key]) {
+				var sv StepValue
+				if vs, ok := perRankTrain[key]; ok {
+					sv.Train = reduce(vs[metric], opts.UseMean)
+				}
+				if vs, ok := perRankVal[key]; ok {
+					sv.Validation = reduce(vs[metric], opts.UseMean)
+				}
+				byMetric[metric] = sv
+			}
+			rr.values[key] = byMetric
+		}
+		repResults = append(repResults, rr)
+	}
+
+	// Step (3): median over repetitions; assemble kernel aggregates.
+	allKeys := make(map[string]bool)
+	for _, rr := range repResults {
+		for k := range rr.values {
+			allKeys[k] = true
+		}
+	}
+	for key := range allKeys {
+		k := &KernelAggregate{
+			Callpath:      key,
+			Name:          names[key],
+			Kind:          kinds[key],
+			PerRep:        make(map[measurement.Metric][]StepValue),
+			Value:         make(map[measurement.Metric]StepValue),
+			Ranks:         len(rankSets[key]),
+			StepsObserved: stepsObserved[key],
+		}
+		for _, metric := range metricsFor(k.Kind) {
+			perRep := make([]StepValue, 0, len(repResults))
+			for _, rr := range repResults {
+				if byMetric, ok := rr.values[key]; ok {
+					perRep = append(perRep, byMetric[metric])
+				} else {
+					perRep = append(perRep, StepValue{})
+				}
+			}
+			k.PerRep[metric] = perRep
+			trainVals := make([]float64, len(perRep))
+			valVals := make([]float64, len(perRep))
+			for i, sv := range perRep {
+				trainVals[i] = sv.Train
+				valVals[i] = sv.Validation
+			}
+			k.Value[metric] = StepValue{
+				Train:      reduce(trainVals, opts.UseMean),
+				Validation: reduce(valVals, opts.UseMean),
+			}
+		}
+		agg.Kernels[key] = k
+	}
+
+	// Category sums (Eq. 6 inputs): sum the member kernels' aggregates.
+	// Iterate in sorted callpath order — floating-point addition is not
+	// associative, and map order would make the sums run-to-run unstable.
+	for _, k := range agg.SortedKernels() {
+		cat := k.Category()
+		if cat == calltree.CategoryUnknown {
+			continue
+		}
+		byMetric := agg.Categories[cat]
+		if byMetric == nil {
+			byMetric = make(map[measurement.Metric]StepValue)
+			agg.Categories[cat] = byMetric
+		}
+		perRepByMetric := agg.CategoriesPerRep[cat]
+		if perRepByMetric == nil {
+			perRepByMetric = make(map[measurement.Metric][]StepValue)
+			agg.CategoriesPerRep[cat] = perRepByMetric
+		}
+		for metric, sv := range k.Value {
+			byMetric[metric] = byMetric[metric].Add(sv)
+			perRep := perRepByMetric[metric]
+			if perRep == nil {
+				perRep = make([]StepValue, agg.Reps)
+			}
+			for i, rv := range k.PerRep[metric] {
+				if i < len(perRep) {
+					perRep[i] = perRep[i].Add(rv)
+				}
+			}
+			perRepByMetric[metric] = perRep
+		}
+	}
+	return agg, nil
+}
+
+// addRankValue reduces per-step sums to one value per rank (step (2)'s
+// input ṽ_kr) and appends it to the per-rank collection.
+func addRankValue(perRank map[string]map[measurement.Metric][]float64, key string, byMetric map[measurement.Metric][]float64, useMean bool) {
+	dst := perRank[key]
+	if dst == nil {
+		dst = make(map[measurement.Metric][]float64)
+		perRank[key] = dst
+	}
+	for metric, stepVals := range byMetric {
+		dst[metric] = append(dst[metric], reduce(stepVals, useMean))
+	}
+}
+
+// warmupEpochs returns the epoch indices to skip: the first `skip` epochs,
+// but never all of them — at least one epoch of data must remain.
+func warmupEpochs(tr *trace.Trace, skip int) []int {
+	if skip <= 0 || len(tr.Epochs) <= skip {
+		if len(tr.Epochs) > 1 && skip > 0 {
+			skip = len(tr.Epochs) - 1
+		} else {
+			return nil
+		}
+	}
+	idx := make([]int, 0, skip)
+	sorted := append([]trace.EpochSpan(nil), tr.Epochs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	for i := 0; i < skip && i < len(sorted); i++ {
+		idx = append(idx, sorted[i].Index)
+	}
+	return idx
+}
+
+// SortedKernels returns the aggregate's kernels sorted by callpath.
+func (a *ConfigAggregate) SortedKernels() []*KernelAggregate {
+	keys := make([]string, 0, len(a.Kernels))
+	for k := range a.Kernels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*KernelAggregate, len(keys))
+	for i, k := range keys {
+		out[i] = a.Kernels[k]
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/pmnf"
+)
+
+// ExampleCostModel computes training cost in core-hours per Eq. 14 of the
+// paper: C(x) = T(x) · x · ϱ.
+func ExampleCostModel() {
+	// One epoch takes a constant 3600 s regardless of scale.
+	cm := analysis.CostModel{
+		Runtime:      pmnf.ConstantFunction(3600),
+		CoresPerRank: 8,
+	}
+	fmt.Printf("C(4)  = %.0f core-hours\n", cm.CoreHours(4))
+	fmt.Printf("C(16) = %.0f core-hours\n", cm.CoreHours(16))
+	// Output:
+	// C(4)  = 32 core-hours
+	// C(16) = 128 core-hours
+}
+
+// ExampleRecommendPoints reproduces the paper's Section 4.3 guidance: to
+// predict 1024 ranks, measure at {8, 16, 32, 64, 128}.
+func ExampleRecommendPoints() {
+	pts, err := analysis.RecommendPoints(1024, 5, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(pts)
+	fmt.Printf("extrapolation ratio: %.0f\n", analysis.ExtrapolationRatio(pts, 1024))
+	// Output:
+	// [8 16 32 64 128]
+	// extrapolation ratio: 8
+}
+
+// ExampleSpeedups computes the paper's Δ metric (Eq. 11) for a runtime
+// that halves when the allocation doubles (perfect strong scaling).
+func ExampleSpeedups() {
+	// T(p) = 1000/p via a negative-exponent PMNF term.
+	runtime := &pmnf.Function{Terms: []pmnf.Term{{
+		Coefficient: 1000,
+		Factors:     []pmnf.Factor{{Param: 0, PolyExp: -1}},
+	}}}
+	deltas, err := analysis.Speedups(runtime, []float64{2, 4, 8})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, x := range []float64{2, 4, 8} {
+		fmt.Printf("Δ(%v) = %.0f%%\n", x, deltas[i])
+	}
+	// Output:
+	// Δ(2) = 0%
+	// Δ(4) = 50%
+	// Δ(8) = 75%
+}

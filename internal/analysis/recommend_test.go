@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecommendPointsPaperExample(t *testing.T) {
+	// Section 4.3: a prediction for 1024 ranks should be modeled from
+	// points like {8, 16, 32, 64, 128}.
+	pts, err := RecommendPoints(1024, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 16, 32, 64, 128}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestRecommendPointsGeometric(t *testing.T) {
+	pts, err := RecommendPoints(4096, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] != 2*pts[i-1] {
+			t.Fatalf("not geometric: %v", pts)
+		}
+	}
+	if pts[len(pts)-1] != 512 { // 4096/8
+		t.Errorf("top point = %v, want 512", pts[len(pts)-1])
+	}
+}
+
+func TestRecommendPointsRespectsMinStart(t *testing.T) {
+	pts, err := RecommendPoints(64, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// target/8 = 8 < minStart? no: top = max(4, 8) = 8; smallest point
+	// must still be ≥ 1 after halving.
+	if pts[len(pts)-1] < 4 {
+		t.Errorf("top %v below minStart", pts[len(pts)-1])
+	}
+	for _, p := range pts {
+		if p < 1 {
+			t.Errorf("point %v below 1", p)
+		}
+	}
+}
+
+func TestRecommendPointsMinimumCount(t *testing.T) {
+	pts, err := RecommendPoints(512, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Errorf("count clamped wrong: %v", pts)
+	}
+}
+
+func TestRecommendPointsRejectsTinyTargets(t *testing.T) {
+	if _, err := RecommendPoints(1, 5, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := RecommendPoints(3, 5, 1); err == nil {
+		t.Error("target too small to place 5 distinct points accepted")
+	}
+}
+
+func TestExtrapolationRatio(t *testing.T) {
+	if r := ExtrapolationRatio([]float64{2, 4, 6, 8, 10}, 1024); r != 102.4 {
+		t.Errorf("ratio = %v, want 102.4 (the paper's 'unrealistic' case)", r)
+	}
+	if r := ExtrapolationRatio([]float64{8, 16, 32, 64, 128}, 1024); r != 8 {
+		t.Errorf("ratio = %v, want 8 (the paper's 'possible' case)", r)
+	}
+	if r := ExtrapolationRatio(nil, 10); !math.IsInf(r, 1) {
+		t.Errorf("empty points ratio = %v, want +Inf", r)
+	}
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"testing"
+
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func bench(t *testing.T, name string) engine.Benchmark {
+	t.Helper()
+	b, err := engine.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAnalyticalBreakdown(t *testing.T) {
+	b := bench(t, "cifar10")
+	p, err := Analytical(b, hardware.DEEP(), parallel.DataParallel{FusionBuckets: 4}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ComputePerStep <= 0 || p.CommPerStep <= 0 || p.IOPerStep <= 0 {
+		t.Errorf("breakdown has non-positive parts: %+v", p)
+	}
+	if p.StepsPerEpoch != 195 {
+		t.Errorf("steps = %d, want 195", p.StepsPerEpoch)
+	}
+	if p.EpochTime <= 0 {
+		t.Error("non-positive epoch time")
+	}
+}
+
+func TestAnalyticalOptimisticVsSimulator(t *testing.T) {
+	// The analytical model uses peak numbers and ideal terms, so it must
+	// undercut the simulator's (calibrated) epoch time at every scale.
+	b := bench(t, "cifar10")
+	strat := parallel.DataParallel{FusionBuckets: 4}
+	for _, ranks := range []int{2, 8, 32, 64} {
+		ana, err := Analytical(b, hardware.DEEP(), strat, ranks, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := engine.Stats(b, engine.RunConfig{
+			System: hardware.DEEP(), Strategy: strat, Ranks: ranks, WeakScaling: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ana.EpochTime >= st.ExecTimePerEpoch {
+			t.Errorf("ranks %d: analytical %v not below simulated %v",
+				ranks, ana.EpochTime, st.ExecTimePerEpoch)
+		}
+	}
+}
+
+func TestAnalyticalCommGrowsWithScale(t *testing.T) {
+	b := bench(t, "cifar10")
+	strat := parallel.DataParallel{FusionBuckets: 4}
+	small, err := Analytical(b, hardware.DEEP(), strat, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Analytical(b, hardware.DEEP(), strat, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CommPerStep <= small.CommPerStep {
+		t.Error("analytical communication should grow with ranks")
+	}
+}
+
+func TestAnalyticalErrors(t *testing.T) {
+	b := bench(t, "cifar10")
+	if _, err := Analytical(b, hardware.DEEP(), parallel.DataParallel{}, 0, true); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	b.Dataset.TrainSamples = 10
+	if _, err := Analytical(b, hardware.DEEP(), parallel.DataParallel{}, 2, false); err == nil {
+		t.Error("zero-step configuration accepted")
+	}
+}
+
+func TestFullProfilingMatchesSampledShape(t *testing.T) {
+	b := bench(t, "cifar10")
+	cfg := engine.RunConfig{
+		System: hardware.DEEP(), Strategy: parallel.DataParallel{FusionBuckets: 4},
+		WeakScaling: true, Seed: 7,
+	}
+	res, err := FullProfiling(b, cfg, []int{2, 4, 6, 8, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil {
+		t.Fatal("no model")
+	}
+	// Weak scaling: the full-profiling model must also grow.
+	if res.Model.Predict(64) <= res.Model.Predict(2) {
+		t.Errorf("full-profiling model flat: %s", res.Model.Function)
+	}
+	if res.ProfiledSeconds <= 0 {
+		t.Error("no profiling cost recorded")
+	}
+	// 5 configs × 5 reps × 2 epochs ≈ 50 epoch executions ≈ 50× epoch
+	// time; sanity: more than 10× one epoch.
+	st, err := engine.Stats(b, func() engine.RunConfig { c := cfg; c.Ranks = 2; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProfiledSeconds < 10*st.ExecTimePerEpoch {
+		t.Errorf("profiled seconds %v implausibly low", res.ProfiledSeconds)
+	}
+}
+
+func TestFullProfilingErrors(t *testing.T) {
+	b := bench(t, "cifar10")
+	cfg := engine.RunConfig{System: hardware.DEEP(), Strategy: parallel.DataParallel{}, WeakScaling: true}
+	if _, err := FullProfiling(b, cfg, []int{2, 4, 6, 8, 10}, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if _, err := FullProfiling(b, cfg, []int{2, 4}, 3); err == nil {
+		t.Error("too few modeling points accepted")
+	}
+}

@@ -1,0 +1,314 @@
+// Package core is the Extra-Deep framework facade: it wires the complete
+// performance-analysis pipeline of Fig. 1 — application profiling (here:
+// the training simulator), data preprocessing and aggregation (Fig. 2),
+// per-epoch extrapolation (Eqs. 2–4), automated PMNF modeling (Eq. 5/7),
+// and the analysis layer — behind a small API.
+//
+// Typical use:
+//
+//	camp := core.Campaign{ ... }
+//	res, err := core.RunCampaign(camp)
+//	model := res.Models.App[epoch.AppPath]       // training time per epoch
+//	pred := model.Predict(40)                    // Q1: time at 40 ranks
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"extradeep/internal/aggregate"
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+	"extradeep/internal/profile"
+	"extradeep/internal/simulator/engine"
+)
+
+// Options bundles the pipeline configuration.
+type Options struct {
+	// Aggregation configures the Fig. 2 preprocessing.
+	Aggregation aggregate.Options
+	// Modeling configures the PMNF search.
+	Modeling modeling.Options
+	// MinConfigurations is the kernel-filtering threshold (step (4) of
+	// Fig. 2); 0 means the paper's 5.
+	MinConfigurations int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Aggregation:       aggregate.DefaultOptions(),
+		Modeling:          modeling.DefaultOptions(),
+		MinConfigurations: measurement.MinModelingPoints,
+	}
+}
+
+func (o Options) minConfigs() int {
+	if o.MinConfigurations <= 0 {
+		return measurement.MinModelingPoints
+	}
+	return o.MinConfigurations
+}
+
+// ModelSet holds every model created for one application.
+type ModelSet struct {
+	// Kernel maps metric → callpath → fitted model, one per application
+	// kernel that survived filtering.
+	Kernel map[measurement.Metric]map[string]*modeling.Model
+	// App maps the synthetic application callpaths (epoch.AppPath,
+	// epoch.CompPath, epoch.CommPath, epoch.MemPath) to their
+	// training-time-per-epoch models.
+	App map[string]*modeling.Model
+	// KernelExperiment and AppExperiment are the derived per-epoch
+	// measurement sets the models were fitted on.
+	KernelExperiment *measurement.Experiment
+	AppExperiment    *measurement.Experiment
+}
+
+// KernelCount returns the number of fitted kernel models across metrics.
+func (m *ModelSet) KernelCount() int {
+	n := 0
+	for _, byPath := range m.Kernel {
+		n += len(byPath)
+	}
+	return n
+}
+
+// AggregateProfiles groups raw profiles by configuration and runs the
+// Fig. 2 aggregation pipeline on each group, returning one aggregate per
+// application configuration, sorted by measurement point.
+func AggregateProfiles(profiles []*profile.Profile, opts aggregate.Options) ([]*aggregate.ConfigAggregate, error) {
+	if len(profiles) == 0 {
+		return nil, errors.New("core: no profiles")
+	}
+	groups := profile.GroupByConfig(profiles)
+	keys := profile.SortedKeys(groups)
+	aggs := make([]*aggregate.ConfigAggregate, 0, len(keys))
+	for _, key := range keys {
+		agg, err := aggregate.Aggregate(groups[key], opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregating %s %s: %w", key.App, key.Point, err)
+		}
+		aggs = append(aggs, agg)
+	}
+	sort.SliceStable(aggs, func(i, j int) bool { return aggs[i].Point.Less(aggs[j].Point) })
+	return aggs, nil
+}
+
+// BuildModels runs extrapolation and model fitting on aggregated
+// configurations. Kernels present in fewer than MinConfigurations
+// configurations are filtered out; kernels whose series cannot be modeled
+// (degenerate data) are skipped silently, mirroring the tool's behaviour.
+func BuildModels(aggs []*aggregate.ConfigAggregate, setup epoch.SetupFunc, opts Options) (*ModelSet, error) {
+	kernelExp, err := epoch.BuildKernelExperiment(aggs, setup)
+	if err != nil {
+		return nil, err
+	}
+	kernelExp.FilterInsufficient(opts.minConfigs())
+	appExp, err := epoch.BuildApplicationExperiment(aggs, setup)
+	if err != nil {
+		return nil, err
+	}
+
+	ms := &ModelSet{
+		Kernel:           make(map[measurement.Metric]map[string]*modeling.Model),
+		App:              make(map[string]*modeling.Model),
+		KernelExperiment: kernelExp,
+		AppExperiment:    appExp,
+	}
+	for _, metric := range kernelExp.Metrics() {
+		byPath := make(map[string]*modeling.Model)
+		for _, path := range kernelExp.Callpaths(metric) {
+			m, err := modeling.FitSeries(kernelExp.Series(metric, path), opts.Modeling)
+			if err != nil {
+				continue // unmodelable series (constant-zero, degenerate)
+			}
+			byPath[path] = m
+		}
+		if len(byPath) > 0 {
+			ms.Kernel[metric] = byPath
+		}
+	}
+	for _, path := range appExp.Callpaths(measurement.MetricTime) {
+		m, err := modeling.FitSeries(appExp.Series(measurement.MetricTime, path), opts.Modeling)
+		if err != nil {
+			continue
+		}
+		ms.App[path] = m
+	}
+	if len(ms.App) == 0 {
+		return nil, errors.New("core: no application model could be created")
+	}
+	return ms, nil
+}
+
+// Campaign describes one end-to-end measurement and modeling campaign on
+// the simulated substrate: profile the benchmark at the modeling ranks
+// (with repetitions), create models, and additionally measure the
+// evaluation ranks for assessing predictive power.
+type Campaign struct {
+	// Benchmark is the application under study.
+	Benchmark engine.Benchmark
+	// Config is the run-configuration template; its Ranks field is
+	// overwritten per measured point.
+	Config engine.RunConfig
+	// ModelingRanks are the rank counts used for model creation
+	// (the paper's P(x₁), e.g. {2,4,6,8,10}).
+	ModelingRanks []int
+	// EvalRanks are the additional rank counts measured to evaluate
+	// predictive power (the paper's P⁺).
+	EvalRanks []int
+	// Reps is the number of measurement repetitions per configuration
+	// (the paper uses 5).
+	Reps int
+	// Options configures aggregation and modeling.
+	Options Options
+}
+
+// Validate checks the campaign. The paper's minimum of five modeling
+// configurations applies unless the campaign's modeling options lower it
+// explicitly (e.g. for the modeling-point ablation).
+func (c Campaign) Validate() error {
+	if err := c.Benchmark.Validate(); err != nil {
+		return err
+	}
+	min := c.Options.Modeling.MinPoints
+	if min <= 0 {
+		min = measurement.MinModelingPoints
+	}
+	if len(c.ModelingRanks) < min {
+		return fmt.Errorf("core: %d modeling ranks, need at least %d", len(c.ModelingRanks), min)
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("core: %d repetitions", c.Reps)
+	}
+	return nil
+}
+
+// CampaignResult is the outcome of RunCampaign.
+type CampaignResult struct {
+	// Models are the models fitted on the modeling ranks.
+	Models *ModelSet
+	// AppActuals holds the derived per-epoch application values measured
+	// at every rank count (modeling and evaluation points): callpath →
+	// ranks → per-repetition values.
+	AppActuals map[string]map[int][]float64
+	// Aggregates are the per-configuration aggregation results for all
+	// measured points, sorted by point.
+	Aggregates []*aggregate.ConfigAggregate
+}
+
+// ActualMedian returns the median measured value of an application series
+// at the given rank count.
+func (r *CampaignResult) ActualMedian(callpath string, ranks int) (float64, bool) {
+	byRanks, ok := r.AppActuals[callpath]
+	if !ok {
+		return 0, false
+	}
+	reps, ok := byRanks[ranks]
+	if !ok || len(reps) == 0 {
+		return 0, false
+	}
+	med := append([]float64(nil), reps...)
+	sort.Float64s(med)
+	n := len(med)
+	if n%2 == 1 {
+		return med[n/2], true
+	}
+	return med[n/2-1]/2 + med[n/2]/2, true
+}
+
+// PercentError returns the model's absolute percentage error against the
+// measured median of an application series at the given rank count.
+func (r *CampaignResult) PercentError(callpath string, ranks int) (float64, bool) {
+	m, ok := r.Models.App[callpath]
+	if !ok {
+		return 0, false
+	}
+	actual, ok := r.ActualMedian(callpath, ranks)
+	if !ok || actual == 0 {
+		return 0, false
+	}
+	pred := m.Predict(float64(ranks))
+	diff := pred - actual
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / actual * 100, true
+}
+
+// RunCampaign executes the campaign: simulated sampled profiling at every
+// modeling and evaluation rank count with the configured repetitions,
+// aggregation, extrapolation, and model creation on the modeling subset.
+func RunCampaign(c Campaign) (*CampaignResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts := c.Options
+	if opts.Modeling.PolyExponents == nil && opts.Modeling.MaxTerms == 0 {
+		opts = DefaultOptions()
+		if !c.Config.WeakScaling {
+			// Strong-scaling runtimes shrink with scale; the search space
+			// needs negative exponents to express that.
+			opts.Modeling = modeling.StrongScalingOptions()
+		}
+	}
+
+	modelingSet := make(map[int]bool, len(c.ModelingRanks))
+	allRanks := append([]int(nil), c.ModelingRanks...)
+	for _, r := range c.ModelingRanks {
+		modelingSet[r] = true
+	}
+	for _, r := range c.EvalRanks {
+		if !modelingSet[r] {
+			allRanks = append(allRanks, r)
+		}
+	}
+	sort.Ints(allRanks)
+
+	var modelingAggs, allAggs []*aggregate.ConfigAggregate
+	for _, ranks := range allRanks {
+		cfg := c.Config
+		cfg.Ranks = ranks
+		var group []*profile.Profile
+		for rep := 1; rep <= c.Reps; rep++ {
+			profiles, err := engine.Profile(c.Benchmark, cfg, rep, true)
+			if err != nil {
+				return nil, fmt.Errorf("core: profiling %d ranks rep %d: %w", ranks, rep, err)
+			}
+			group = append(group, profiles...)
+		}
+		agg, err := aggregate.Aggregate(group, opts.Aggregation)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregating %d ranks: %w", ranks, err)
+		}
+		allAggs = append(allAggs, agg)
+		if modelingSet[ranks] {
+			modelingAggs = append(modelingAggs, agg)
+		}
+	}
+
+	setup := engine.SetupFunc(c.Benchmark, c.Config.Strategy, c.Config.WeakScaling)
+	models, err := BuildModels(modelingAggs, setup, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Derived actual per-epoch values at every point for evaluation.
+	appAll, err := epoch.BuildApplicationExperiment(allAggs, setup)
+	if err != nil {
+		return nil, err
+	}
+	actuals := make(map[string]map[int][]float64)
+	for _, path := range appAll.Callpaths(measurement.MetricTime) {
+		byRanks := make(map[int][]float64)
+		s := appAll.Series(measurement.MetricTime, path)
+		for _, sm := range s.Samples {
+			byRanks[int(sm.Point[0])] = append([]float64(nil), sm.Reps...)
+		}
+		actuals[path] = byRanks
+	}
+	return &CampaignResult{Models: models, AppActuals: actuals, Aggregates: allAggs}, nil
+}

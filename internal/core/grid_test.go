@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func testGridCampaign(t *testing.T) GridCampaign {
+	t.Helper()
+	b, err := engine.ByName("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GridCampaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      hardware.DEEP(),
+			Strategy:    parallel.DataParallel{FusionBuckets: 4},
+			WeakScaling: true,
+			Seed:        5,
+			SampleRanks: 2,
+		},
+		Ranks:   []int{2, 4, 6, 8, 10},
+		Batches: []int{32, 64, 128, 256, 512},
+		Reps:    2,
+	}
+}
+
+func TestRunGridCampaignBuildsTwoParamModel(t *testing.T) {
+	res, err := RunGridCampaign(testGridCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Models.App[epoch.AppPath]
+	if m == nil {
+		t.Fatal("no application model")
+	}
+	if got := len(m.Points[0]); got != 2 {
+		t.Fatalf("model arity = %d, want 2", got)
+	}
+	// 25 grid cells measured.
+	if len(res.Aggregates) != 25 {
+		t.Fatalf("aggregates = %d, want 25", len(res.Aggregates))
+	}
+}
+
+func TestGridModelAccuracyOnGrid(t *testing.T) {
+	res, err := RunGridCampaign(testGridCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Models.App[epoch.AppPath]
+	// Model accuracy across the measured grid cells: median error small.
+	var worst float64
+	for _, agg := range res.Aggregates {
+		actual, ok := res.ActualAppMedian(epoch.AppPath, agg.Point)
+		if !ok || actual == 0 {
+			t.Fatalf("no actual at %s", agg.Point.Key())
+		}
+		pred := m.Function.EvalAt(agg.Point)
+		e := math.Abs(pred-actual) / actual * 100
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 25 {
+		t.Errorf("worst on-grid error = %.1f%%, want <25%%", worst)
+	}
+}
+
+func TestGridBatchSizeEffect(t *testing.T) {
+	// Larger per-worker batches mean fewer steps per epoch but more work
+	// per step; the fixed per-step overhead (dispatch, latency) makes
+	// small batches less efficient — the epoch time at batch 32 should
+	// exceed the epoch time at batch 512 at equal scale.
+	res, err := RunGridCampaign(testGridCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, ok1 := res.ActualAppMedian(epoch.AppPath, measurement.Point{4, 32})
+	large, ok2 := res.ActualAppMedian(epoch.AppPath, measurement.Point{4, 512})
+	if !ok1 || !ok2 {
+		t.Fatal("missing grid cells")
+	}
+	if small <= large {
+		t.Errorf("epoch at batch 32 (%v) should exceed batch 512 (%v)", small, large)
+	}
+}
+
+func TestGridCampaignValidate(t *testing.T) {
+	c := testGridCampaign(t)
+	c.Batches = []int{32, 64}
+	if c.Validate() == nil {
+		t.Error("too few batch values accepted")
+	}
+	c = testGridCampaign(t)
+	c.Reps = 0
+	if c.Validate() == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestGridSetupUsesPointBatch(t *testing.T) {
+	b, err := engine.ByName("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.RunConfig{Strategy: parallel.DataParallel{}, WeakScaling: true}
+	setup := GridSetup(b, cfg)
+	p := setup(measurement.Point{4, 64})
+	if p.BatchSize != 64 {
+		t.Errorf("batch = %v, want 64 (from point)", p.BatchSize)
+	}
+	// Single-coordinate points fall back to the benchmark's batch.
+	p1 := setup(measurement.Point{4})
+	if p1.BatchSize != float64(b.BatchSize) {
+		t.Errorf("fallback batch = %v, want %d", p1.BatchSize, b.BatchSize)
+	}
+}
+
+func TestActualAppMedianMissingPoint(t *testing.T) {
+	res, err := RunGridCampaign(testGridCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.ActualAppMedian(epoch.AppPath, measurement.Point{3, 100}); ok {
+		t.Error("missing grid point reported ok")
+	}
+	if _, ok := res.ActualAppMedian("no-such-series", measurement.Point{2, 32}); ok {
+		t.Error("missing series reported ok")
+	}
+}

@@ -1,0 +1,91 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extradeep/internal/aggregate"
+)
+
+// Property: KernelValue is linear in the step values — the per-epoch value
+// of a sum of kernels equals the sum of per-epoch values (the property
+// that makes category aggregation and per-kernel modeling consistent,
+// Eqs. 4 and 6).
+func TestKernelValueLinearity(t *testing.T) {
+	p := Params{BatchSize: 64, TrainSamples: 10000, ValSamples: 2000, DataParallel: 4, ModelParallel: 1}
+	f := func(t1, v1, t2, v2 float64) bool {
+		if anyBad(t1, v1, t2, v2) {
+			return true
+		}
+		a := aggregate.StepValue{Train: t1, Validation: v1}
+		b := aggregate.StepValue{Train: t2, Validation: v2}
+		sum := KernelValue(a.Add(b), p)
+		parts := KernelValue(a, p) + KernelValue(b, p)
+		return math.Abs(sum-parts) <= 1e-9*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KernelValue scales linearly with the step value.
+func TestKernelValueHomogeneity(t *testing.T) {
+	p := Params{BatchSize: 32, TrainSamples: 5000, ValSamples: 1000, DataParallel: 2, ModelParallel: 1}
+	f := func(tv, vv, k float64) bool {
+		if anyBad(tv, vv, k) {
+			return true
+		}
+		sv := aggregate.StepValue{Train: tv, Validation: vv}
+		scaled := aggregate.StepValue{Train: tv * k, Validation: vv * k}
+		lhs := KernelValue(scaled, p)
+		rhs := k * KernelValue(sv, p)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of training steps never increases when the batch
+// size grows (Eq. 2 is monotone non-increasing in B).
+func TestTrainStepsMonotoneInBatch(t *testing.T) {
+	f := func(rawB1, rawB2 uint16) bool {
+		b1 := float64(rawB1%1024) + 1
+		b2 := float64(rawB2%1024) + 1
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		p1 := Params{BatchSize: b1, TrainSamples: 100000, DataParallel: 4, ModelParallel: 1}
+		p2 := p1
+		p2.BatchSize = b2
+		return p1.TrainSteps() >= p2.TrainSteps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weak scaling (D_t ∝ workers) keeps the step count invariant
+// for any rank count and batch size.
+func TestWeakScalingStepInvariance(t *testing.T) {
+	f := func(rawRanks, rawBatch uint8) bool {
+		ranks := float64(rawRanks%63) + 2
+		batch := float64(rawBatch%255) + 1
+		base := Params{BatchSize: batch, TrainSamples: 50000, DataParallel: 1, ModelParallel: 1}
+		scaled := Params{BatchSize: batch, TrainSamples: 50000 * ranks, DataParallel: ranks, ModelParallel: 1}
+		return base.TrainSteps() == scaled.TrainSteps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+	}
+	return false
+}

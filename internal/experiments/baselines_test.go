@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselinesComparison(t *testing.T) {
+	r, err := Baselines(7, "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	// Sampling must slash profiling cost by an order of magnitude
+	// (Fig. 8's point: ≈95% less).
+	if r.ProfiledSecondsFull < 5*r.ProfiledSecondsSampled {
+		t.Errorf("full profiling cost %v should dwarf sampled cost %v",
+			r.ProfiledSecondsFull, r.ProfiledSecondsSampled)
+	}
+	// Empirical approaches must beat the analytical model by a wide
+	// margin.
+	if r.AnalyticalMPE < 3*r.ExtraDeepMPE {
+		t.Errorf("analytical MPE %v should far exceed Extra-Deep's %v",
+			r.AnalyticalMPE, r.ExtraDeepMPE)
+	}
+	if r.AnalyticalMPE < 3*r.FullProfilingMPE {
+		t.Errorf("analytical MPE %v should far exceed full-profiling's %v",
+			r.AnalyticalMPE, r.FullProfilingMPE)
+	}
+	// The analytical model is optimistic (underestimates), not just
+	// wrong: every prediction below the measurement.
+	for _, row := range r.Rows {
+		if row.Analytical >= row.Actual {
+			t.Errorf("analytical prediction at %d ranks (%v) not below measured (%v)",
+				row.Ranks, row.Analytical, row.Actual)
+		}
+	}
+	// Both empirical models stay in a sane band.
+	if r.ExtraDeepMPE > 15 || r.FullProfilingMPE > 20 {
+		t.Errorf("empirical MPEs too high: %v / %v", r.ExtraDeepMPE, r.FullProfilingMPE)
+	}
+	if !strings.Contains(r.Render(), "Baseline comparison") {
+		t.Error("render broken")
+	}
+}
+
+func TestBaselinesUnknownBenchmark(t *testing.T) {
+	if _, err := Baselines(7, "nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

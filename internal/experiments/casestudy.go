@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/core"
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// Case-study measurement sets (Section 2.3): five modeling points and
+// twelve evaluation points.
+var (
+	caseStudyModelingRanks = []int{2, 4, 6, 10, 12}
+	caseStudyEvalRanks     = []int{14, 16, 18, 20, 24, 28, 32, 36, 40, 48, 56, 64}
+)
+
+// CaseStudyResult reproduces the running example of Sections 2–3: the
+// ResNet-50/CIFAR-10 weak-scaling study on DEEP answering Q1–Q5.
+type CaseStudyResult struct {
+	// EpochModel is T_epoch(x1), the training-time-per-epoch model
+	// (paper: 158.58 + 0.58·x1^{2/3}·log2(x1)²).
+	EpochModel *modeling.Model
+	// CommModel is T_comm(x1) (paper: grows 34.41 s → 296.57 s over
+	// 2 → 64 ranks).
+	CommModel *modeling.Model
+	// Q1Prediction is the predicted training time per epoch at 40 ranks
+	// (paper: 352.37 s).
+	Q1Prediction float64
+	// CommAt2 and CommAt64 are the communication times per epoch at the
+	// ends of the evaluated range.
+	CommAt2, CommAt64 float64
+	// CostModel is C_epoch(x1) in core-hours (paper: 0.082·x1^{1.62}).
+	CostModel *modeling.Model
+	// Q4CostAt32 is the predicted cost at 32 ranks (paper: 22.49 core-h).
+	Q4CostAt32 float64
+	// Q5BestRanks is the most cost-effective configuration under weak
+	// scaling (paper: the smallest allocation, 2 ranks).
+	Q5BestRanks float64
+	// Bottleneck is the callpath ranked as the top scaling bottleneck
+	// (paper: the MPI communication).
+	Bottleneck string
+	// Errors maps rank count → percentage error of the epoch model
+	// against the measured value (modeling + evaluation points).
+	Errors map[int]float64
+	// Actuals maps rank count → measured median training time per epoch.
+	Actuals map[int]float64
+	// Campaign is the underlying campaign result for further analysis.
+	Campaign *core.CampaignResult
+}
+
+// CaseStudy runs the complete CIFAR-10 case study.
+func CaseStudy(seed int64) (*CaseStudyResult, error) {
+	b, err := engine.ByName("cifar10")
+	if err != nil {
+		return nil, err
+	}
+	sys := hardware.DEEP()
+	strat := parallel.DataParallel{FusionBuckets: 4}
+	camp := core.Campaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      sys,
+			Strategy:    strat,
+			WeakScaling: true,
+			Seed:        seed,
+			SampleRanks: 4,
+			Granularity: engine.GranularityLayer,
+		},
+		ModelingRanks: caseStudyModelingRanks,
+		EvalRanks:     caseStudyEvalRanks,
+		Reps:          5,
+	}
+	res, err := core.RunCampaign(camp)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &CaseStudyResult{
+		EpochModel: res.Models.App[epoch.AppPath],
+		CommModel:  res.Models.App[epoch.CommPath],
+		Errors:     make(map[int]float64),
+		Actuals:    make(map[int]float64),
+		Campaign:   res,
+	}
+	if out.EpochModel == nil || out.CommModel == nil {
+		return nil, fmt.Errorf("experiments: case study produced no application models")
+	}
+
+	// Q1: training time per epoch at 40 ranks.
+	out.Q1Prediction = out.EpochModel.Predict(40)
+
+	// Q2: accuracy/predictive power per point.
+	for _, ranks := range append(append([]int(nil), caseStudyModelingRanks...), caseStudyEvalRanks...) {
+		if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
+			out.Errors[ranks] = e
+		}
+		if a, ok := res.ActualMedian(epoch.AppPath, ranks); ok {
+			out.Actuals[ranks] = a
+		}
+	}
+
+	// Q3: bottleneck ranking over the kernel runtime models.
+	timeModels := res.Models.Kernel[measurement.MetricTime]
+	ranked := analysis.RankByGrowth(timeModels, measurement.Point{2}, measurement.Point{64})
+	if len(ranked) > 0 {
+		out.Bottleneck = ranked[0].Callpath
+	}
+	out.CommAt2 = out.CommModel.Predict(2)
+	out.CommAt64 = out.CommModel.Predict(64)
+
+	// Q4: cost model (ϱ = 8 cores per rank on DEEP).
+	cm := analysis.CostModel{Runtime: out.EpochModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
+	xs := make([]float64, 0, len(caseStudyModelingRanks)+len(caseStudyEvalRanks))
+	for _, r := range caseStudyModelingRanks {
+		xs = append(xs, float64(r))
+	}
+	for _, r := range caseStudyEvalRanks {
+		xs = append(xs, float64(r))
+	}
+	costModel, err := cm.FitCostModel(xs, modeling.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cost model: %w", err)
+	}
+	out.CostModel = costModel
+	out.Q4CostAt32 = cm.CoreHours(32)
+
+	// Q5: most cost-effective configuration (weak scaling: smallest).
+	best, err := analysis.MostCostEffective(out.EpochModel.Function, cm, xs, analysis.Constraint{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Q5: %w", err)
+	}
+	out.Q5BestRanks = best.Ranks
+
+	return out, nil
+}
+
+// Render formats the case-study report.
+func (r *CaseStudyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Case study: ResNet-50 / CIFAR-10, weak scaling, DEEP (Sections 2-3) ===\n\n")
+	fmt.Fprintf(&b, "T_epoch(x1) = %s   [paper: 158.58 + 0.58*x1^(2/3)*log2(x1)^2]\n", r.EpochModel.Function)
+	fmt.Fprintf(&b, "Q1: predicted training time per epoch @ 40 ranks: %.2f s   [paper: 352.37 s]\n\n", r.Q1Prediction)
+
+	t := &Table{Header: []string{"ranks", "measured [s]", "predicted [s]", "error", "set"}}
+	mod := make(map[int]bool)
+	for _, x := range caseStudyModelingRanks {
+		mod[x] = true
+	}
+	for _, ranks := range sortedIntKeys(r.Errors) {
+		set := "eval"
+		if mod[ranks] {
+			set = "model"
+		}
+		t.AddRow(fmt.Sprintf("%d", ranks), secs(r.Actuals[ranks]),
+			secs(r.EpochModel.Predict(float64(ranks))), pct(r.Errors[ranks]), set)
+	}
+	b.WriteString(t.String())
+
+	fmt.Fprintf(&b, "\nQ3: top scaling bottleneck: %s\n", r.Bottleneck)
+	fmt.Fprintf(&b, "    T_comm(x1) = %s\n", r.CommModel.Function)
+	fmt.Fprintf(&b, "    communication per epoch: %.2f s @ 2 ranks -> %.2f s @ 64 ranks   [paper: 34.41 -> 296.57]\n", r.CommAt2, r.CommAt64)
+	fmt.Fprintf(&b, "Q4: C_epoch(x1) = %s core-hours; C(32) = %.2f   [paper: 0.082*x1^1.62; 22.49]\n", r.CostModel.Function, r.Q4CostAt32)
+	fmt.Fprintf(&b, "Q5: most cost-effective configuration: %.0f ranks   [paper: 2 ranks]\n", r.Q5BestRanks)
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/core"
+	"extradeep/internal/epoch"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/network"
+	"extradeep/internal/simulator/parallel"
+)
+
+// TestDiscussionExtrapolationRange exercises the discussion of the paper's
+// Section 4.3: predictions far beyond the measured range are risky, the
+// extrapolation-ratio heuristic flags them, and a measurement set
+// recommended for the target (the paper's {8,…,128} example) keeps the far
+// prediction within the "possible" band.
+//
+// Note (recorded in EXPERIMENTS.md): on this substrate the communication
+// share at extreme scale is small enough that run-to-run noise, not the
+// scale-dependent fabric knee, dominates the far-prediction error — so the
+// paper's strict "closer range strictly beats tiny range" ordering is not
+// reproducible point-wise; the assertions below capture the parts that
+// are.
+func TestDiscussionExtrapolationRange(t *testing.T) {
+	b, err := engine.ByName("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := hardware.JURECA() // enough GPUs for a 512-rank evaluation point
+	const target = 512
+
+	run := func(modelingRanks []int) float64 {
+		t.Helper()
+		var errs []float64
+		for _, seed := range []int64{3, 7, 11} {
+			camp := core.Campaign{
+				Benchmark: b,
+				Config: engine.RunConfig{
+					System:      sys,
+					Strategy:    parallel.DataParallel{FusionBuckets: 4},
+					WeakScaling: true,
+					Seed:        seed,
+					SampleRanks: 4,
+				},
+				ModelingRanks: modelingRanks,
+				EvalRanks:     []int{target},
+				Reps:          5,
+			}
+			res, err := core.RunCampaign(camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, ok := res.PercentError(epoch.AppPath, target)
+			if !ok {
+				t.Fatal("no prediction error at the target")
+			}
+			errs = append(errs, e)
+		}
+		return medianOf(errs)
+	}
+
+	tiny := run([]int{2, 4, 6, 8, 10})
+	// The paper's example set for a far target: {8, 16, 32, 64, 128}.
+	recommendedPts, err := analysis.RecommendPoints(target, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recommended := make([]int, len(recommendedPts))
+	for i, p := range recommendedPts {
+		recommended[i] = int(p)
+	}
+	good := run(recommended)
+	t.Logf("median prediction error at %d ranks: tiny range %.1f%%, recommended range %v %.1f%%",
+		target, tiny, recommended, good)
+
+	// The recommended range keeps the far prediction "possible"
+	// (well within the paper's 15–20% desirable band for far points).
+	if good > 25 {
+		t.Errorf("recommended-range error = %.1f%%, far prediction should remain possible", good)
+	}
+
+	// The extrapolation-ratio heuristic separates the two setups.
+	if r := analysis.ExtrapolationRatio([]float64{2, 4, 6, 8, 10}, target); r < 50 {
+		t.Errorf("tiny-range ratio = %v, expected ≫8", r)
+	}
+	if r := analysis.ExtrapolationRatio(recommendedPts, target); r > 8.01 {
+		t.Errorf("recommended ratio = %v, want ≤8", r)
+	}
+}
+
+// TestFabricKneeIsScaleDependentBehaviour verifies the substrate exhibits
+// the behaviour change §4.3 warns about: beyond the saturation knee the
+// JURECA fabric's allreduce cost grows much faster than a below-knee
+// extrapolation would suggest.
+func TestFabricKneeIsScaleDependentBehaviour(t *testing.T) {
+	bytes := 25e6
+	time := func(ranks int) float64 {
+		return network.FromSystem(hardware.JURECA(), ranks).Time(network.Allreduce, bytes)
+	}
+	// Growth factor per node-doubling below the knee (2→4 nodes, i.e.
+	// 8→16 ranks) versus far above it (64→128 nodes).
+	below := time(16) / time(8)
+	above := time(512) / time(256)
+	if above <= below {
+		t.Errorf("knee missing: growth per doubling %v below vs %v above", below, above)
+	}
+	// DEEP (single GPU per node) has no knee.
+	dtime := func(ranks int) float64 {
+		return network.FromSystem(hardware.DEEP(), ranks).Time(network.Allreduce, bytes)
+	}
+	dBelow := dtime(8) / dtime(4)
+	dAbove := dtime(64) / dtime(32)
+	if dAbove > dBelow*1.3 {
+		t.Errorf("DEEP should stay knee-free: %v vs %v", dBelow, dAbove)
+	}
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated substrate: the CIFAR-10 case
+// study of Sections 2–3, the parallel-strategy comparison (Fig. 5), the
+// system comparison (Fig. 6), the per-benchmark predictive power (Fig. 7),
+// the profiling-overhead study (Fig. 8), the per-model-type accuracy table
+// (Table 2), the cost-effectiveness example (Fig. 4b), and the headline
+// accuracy summary of Section 4.3. Each experiment returns a result struct
+// with the raw numbers plus a Render method producing the report table.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extradeep/internal/core"
+	"extradeep/internal/mathutil"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// DEEP modeling/evaluation node sets (Section 4.1: one rank per node).
+var (
+	deepModelingRanks = []int{2, 4, 6, 8, 10}
+	deepEvalRanks     = []int{12, 16, 24, 32, 40, 48, 56, 64}
+)
+
+// JURECA rank sets (Section 4.1: four ranks per node; the paper models at
+// x1 = {8,…,40} and evaluates up to 256 ranks = 64 nodes).
+var (
+	jurecaModelingRanks = []int{8, 16, 24, 32, 40}
+	jurecaEvalRanks     = []int{48, 64, 96, 128, 160, 192, 224, 256}
+)
+
+// modelingRanksFor returns the modeling/evaluation rank sets of a system.
+func modelingRanksFor(sys hardware.System) (modeling, eval []int) {
+	if sys.Name == "JURECA" {
+		return jurecaModelingRanks, jurecaEvalRanks
+	}
+	return deepModelingRanks, deepEvalRanks
+}
+
+// nodesOf converts a rank count to the node count shown on the paper's
+// x-axes.
+func nodesOf(sys hardware.System, ranks int) int { return sys.NodesFor(ranks) }
+
+// campaign builds the standard campaign for one (benchmark, system,
+// strategy, scaling-mode) cell of the evaluation.
+func campaign(b engine.Benchmark, sys hardware.System, strat parallel.Strategy, weak bool, seed int64) core.Campaign {
+	mod, eval := modelingRanksFor(sys)
+	return core.Campaign{
+		Benchmark: b,
+		Config: engine.RunConfig{
+			System:      sys,
+			Strategy:    strat,
+			WeakScaling: weak,
+			Seed:        seed,
+			SampleRanks: 4,
+		},
+		ModelingRanks: mod,
+		EvalRanks:     eval,
+		Reps:          5,
+	}
+}
+
+// feasibleRanks filters rank counts that yield at least one training step
+// per epoch (strong scaling runs out of batches at extreme scale).
+func feasibleRanks(b engine.Benchmark, strat parallel.Strategy, weak bool, ranks []int) []int {
+	var out []int
+	for _, r := range ranks {
+		if engine.EpochParams(b, strat, r, weak).TrainSteps() >= 1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// runCell runs one campaign cell, handling strong-scaling feasibility by
+// trimming eval points. Returns nil (no error) when fewer than the
+// minimum modeling points remain feasible.
+func runCell(b engine.Benchmark, sys hardware.System, strat parallel.Strategy, weak bool, seed int64) (*core.CampaignResult, error) {
+	c := campaign(b, sys, strat, weak, seed)
+	c.ModelingRanks = feasibleRanks(b, strat, weak, c.ModelingRanks)
+	c.EvalRanks = feasibleRanks(b, strat, weak, c.EvalRanks)
+	if len(c.ModelingRanks) < 5 {
+		return nil, nil
+	}
+	return core.RunCampaign(c)
+}
+
+// medianOf returns the median of xs (0 when empty).
+func medianOf(xs []float64) float64 {
+	m, _ := mathutil.Median(xs)
+	return m
+}
+
+// Table is a minimal text-table renderer used by all experiment reports.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// secs formats seconds with two decimals.
+func secs(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sortedIntKeys returns the sorted keys of an int-keyed map.
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Most experiment tests run on a reduced benchmark subset to stay fast;
+// the full sweeps are exercised by the benchmark harness (bench_test.go).
+
+func TestCaseStudyAnswersQ1ToQ5(t *testing.T) {
+	cs, err := CaseStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1: a concrete prediction at 40 ranks exists and is larger than the
+	// baseline epoch time (weak scaling grows).
+	base := cs.Actuals[2]
+	if cs.Q1Prediction <= base {
+		t.Errorf("Q1 prediction %v not above baseline %v", cs.Q1Prediction, base)
+	}
+	// Q2: model accuracy at the modeling points ≤5% (paper: 0.1–1.2%).
+	for _, ranks := range caseStudyModelingRanks {
+		if e := cs.Errors[ranks]; e > 5 {
+			t.Errorf("model error at %d ranks = %.1f%%", ranks, e)
+		}
+	}
+	// Q2: predictive power — worst evaluation error under 30% (paper's
+	// worst case is 28.8%).
+	for _, ranks := range caseStudyEvalRanks {
+		if e := cs.Errors[ranks]; e > 30 {
+			t.Errorf("prediction error at %d ranks = %.1f%%", ranks, e)
+		}
+	}
+	// Q3: the top-ranked bottleneck is a communication kernel.
+	if !strings.Contains(cs.Bottleneck, "MPI") && !strings.Contains(cs.Bottleneck, "nccl") {
+		t.Errorf("bottleneck = %q, want a communication kernel", cs.Bottleneck)
+	}
+	// Q3: communication grows by several × from 2 to 64 ranks (paper:
+	// 34.41 → 296.57 s, a factor of 8.6).
+	if cs.CommAt64 < 3*cs.CommAt2 {
+		t.Errorf("communication growth too weak: %v → %v", cs.CommAt2, cs.CommAt64)
+	}
+	// Q4: cost at 32 ranks is positive and superlinear vs 2 ranks.
+	if cs.Q4CostAt32 <= 0 {
+		t.Error("Q4 cost not positive")
+	}
+	// Q5: under weak scaling the smallest allocation wins (paper: 2).
+	if cs.Q5BestRanks != 2 {
+		t.Errorf("Q5 = %v ranks, want 2", cs.Q5BestRanks)
+	}
+	if !strings.Contains(cs.Render(), "Q5") {
+		t.Error("Render missing Q5 section")
+	}
+}
+
+func TestFigure3ConfidenceIntervals(t *testing.T) {
+	f, err := Figure3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != len(caseStudyModelingRanks)+len(caseStudyEvalRanks) {
+		t.Fatalf("points = %d", len(f.Points))
+	}
+	within := 0
+	for _, p := range f.Points {
+		if p.CILo > p.Predicted || p.CIHi < p.Predicted {
+			t.Errorf("ranks %d: CI [%v,%v] excludes prediction %v", p.Ranks, p.CILo, p.CIHi, p.Predicted)
+		}
+		if p.WithinCI {
+			within++
+		}
+	}
+	// As in the paper's Fig. 3, most (but not necessarily all) measured
+	// values fall inside the 95% CI.
+	if within < len(f.Points)/2 {
+		t.Errorf("only %d/%d measurements within CI", within, len(f.Points))
+	}
+	if !strings.Contains(f.Render(), "95% CI") {
+		t.Error("Render missing CI column")
+	}
+}
+
+func TestFigure3ErrorGrowsWithDistance(t *testing.T) {
+	f, err := Figure3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median error over the far evaluation points exceeds the median
+	// over the modeling points.
+	var modelErrs, farErrs []float64
+	for _, p := range f.Points {
+		if p.Modeling {
+			modelErrs = append(modelErrs, p.ErrorPct)
+		} else if p.Ranks >= 40 {
+			farErrs = append(farErrs, p.ErrorPct)
+		}
+	}
+	if medianOf(farErrs) <= medianOf(modelErrs) {
+		t.Errorf("far-point error (%v) should exceed modeling error (%v)",
+			medianOf(farErrs), medianOf(modelErrs))
+	}
+}
+
+func TestFigure5ShapesHold(t *testing.T) {
+	f, err := Figure5(7, "cifar10", "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"data", "tensor", "pipeline"} {
+		byNode, ok := f.MPE[strat]
+		if !ok {
+			t.Fatalf("no MPE for %s", strat)
+		}
+		// Model accuracy region (2–10 nodes) must be tight (paper:
+		// 0.4–1.4%; allow 6% under simulation noise).
+		for _, n := range f.ModelingNodes {
+			if v := byNode[n]; v > 6 {
+				t.Errorf("%s: model accuracy at %d nodes = %.1f%%", strat, n, v)
+			}
+		}
+		// Predictive power at 64 nodes stays below 60%.
+		if v := byNode[64]; v > 60 {
+			t.Errorf("%s: MPE at 64 nodes = %.1f%%", strat, v)
+		}
+	}
+	if !strings.Contains(f.Render(), "tensor") {
+		t.Error("Render missing strategy column")
+	}
+}
+
+func TestFigure6BothSystemsCovered(t *testing.T) {
+	f, err := Figure6(7, "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []string{"DEEP", "JURECA"} {
+		byNode, ok := f.MPE[sys]
+		if !ok || len(byNode) == 0 {
+			t.Fatalf("no MPE for %s", sys)
+		}
+		// Model accuracy tight at small node counts.
+		if v := byNode[2]; v > 6 {
+			t.Errorf("%s: accuracy at 2 nodes = %.1f%%", sys, v)
+		}
+	}
+	if !strings.Contains(f.Render(), "JURECA") {
+		t.Error("Render missing JURECA column")
+	}
+}
+
+func TestFigure7PerBenchmark(t *testing.T) {
+	f, err := Figure7(7, "cifar10", "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Error) != 2 {
+		t.Fatalf("benchmarks = %d", len(f.Error))
+	}
+	for bench, byNode := range f.Error {
+		if len(byNode) == 0 {
+			t.Errorf("%s: no errors recorded", bench)
+		}
+		for n, v := range byNode {
+			if v < 0 || v > 100 {
+				t.Errorf("%s at %d nodes: error %.1f%% out of range", bench, n, v)
+			}
+		}
+	}
+}
+
+func TestFigure8MatchesPaperShape(t *testing.T) {
+	f, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(f.Rows))
+	}
+	byName := make(map[string]Figure8Row)
+	for _, r := range f.Rows {
+		byName[r.Benchmark] = r
+		if r.SampledExec >= r.StandardExec {
+			t.Errorf("%s: sampling did not reduce profiled time", r.Benchmark)
+		}
+		if r.StandardProfiling <= r.SampledProfiling {
+			t.Errorf("%s: profiling overheads inverted", r.Benchmark)
+		}
+	}
+	// Fig. 8 orderings: ImageNet ≫ everything; IMDB shortest; savings
+	// highest for ImageNet, lowest for IMDB.
+	if byName["imagenet"].StandardExec < 5*byName["cifar10"].StandardExec {
+		t.Error("ImageNet should dwarf CIFAR-10")
+	}
+	if byName["imdb"].StandardExec > byName["cifar10"].StandardExec {
+		t.Error("IMDB should be the shortest benchmark")
+	}
+	if byName["imagenet"].Savings <= byName["imdb"].Savings {
+		t.Error("savings should be largest for the longest benchmark")
+	}
+	// Average savings near the paper's 94.9%.
+	if f.AvgSavings < 0.85 || f.AvgSavings > 0.995 {
+		t.Errorf("average savings = %v, want ≈0.949", f.AvgSavings)
+	}
+}
+
+func TestFigure4bFeasibleWindow(t *testing.T) {
+	f, err := Figure4b(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Candidates) != 7 {
+		t.Fatalf("candidates = %d", len(f.Candidates))
+	}
+	// Training time decreases with nodes (strong scaling).
+	for i := 1; i < len(f.Candidates); i++ {
+		if f.Candidates[i].Time >= f.Candidates[i-1].Time {
+			t.Errorf("time not decreasing at %v nodes", f.Candidates[i].Ranks)
+		}
+	}
+	// Cost increases with nodes.
+	for i := 1; i < len(f.Candidates); i++ {
+		if f.Candidates[i].Cost <= f.Candidates[i-1].Cost {
+			t.Errorf("cost not increasing at %v nodes", f.Candidates[i].Ranks)
+		}
+	}
+	// The constraints exclude at least one candidate on each side, and
+	// the selected configuration is feasible.
+	var timeInfeasible, costInfeasible bool
+	for _, c := range f.Candidates {
+		if !c.TimeOK {
+			timeInfeasible = true
+		}
+		if !c.CostOK {
+			costInfeasible = true
+		}
+	}
+	if !timeInfeasible || !costInfeasible {
+		t.Error("constraints should carve a proper feasible window")
+	}
+	if !f.Best.Feasible() {
+		t.Error("selected configuration infeasible")
+	}
+	if !strings.Contains(f.Render(), "most cost-effective") {
+		t.Error("Render missing selection marker")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r, err := Table2(7, "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	groups := make(map[string]map[string]Table2Row)
+	for _, row := range r.Rows {
+		if groups[row.Key.Group] == nil {
+			groups[row.Key.Group] = make(map[string]Table2Row)
+		}
+		groups[row.Key.Group][string(row.Key.Metric)] = row
+		if row.Models <= 0 {
+			t.Errorf("%v: no models", row.Key)
+		}
+	}
+	for _, want := range []string{"CUDA kernels", "MPI", "Memory ops.", "OS func.", "NVTX func."} {
+		if groups[want] == nil {
+			t.Errorf("missing group %s", want)
+		}
+	}
+	// Paper's findings: visits are easier to predict than time, and MPI
+	// time is the hardest.
+	cuda := groups["CUDA kernels"]
+	if cuda["visits"].MPE[64] > cuda["time"].MPE[64] {
+		t.Error("visits should be easier to predict than time")
+	}
+	if mpi, ok := groups["MPI"]; ok {
+		if mpi["time"].MPE[64] < cuda["time"].MPE[64] {
+			t.Error("MPI time should be the hardest to predict")
+		}
+	}
+	if !strings.Contains(r.Render(), "CUDA kernels") {
+		t.Error("Render missing CUDA row")
+	}
+}
+
+func TestSummaryHeadline(t *testing.T) {
+	s, err := Summary(7, "cifar10", "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 97.6% model accuracy, 93.6% prediction accuracy. Allow wide
+	// bands for the simulated substrate.
+	if s.ModelAccuracy < 90 || s.ModelAccuracy > 100 {
+		t.Errorf("model accuracy = %.1f%%", s.ModelAccuracy)
+	}
+	if s.PredictionAccuracy < 70 || s.PredictionAccuracy > 100 {
+		t.Errorf("prediction accuracy = %.1f%%", s.PredictionAccuracy)
+	}
+	if s.ModelAccuracy <= s.PredictionAccuracy {
+		t.Error("model accuracy should exceed prediction accuracy")
+	}
+	if !strings.Contains(s.Render(), "97.6%") {
+		t.Error("Render missing paper reference")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Error("missing separator line")
+	}
+	// Columns aligned: header width adapts to widest cell.
+	if !strings.HasPrefix(lines[0], "a  ") {
+		t.Errorf("unexpected header %q", lines[0])
+	}
+}
+
+func TestFeasibleRanksFiltersInfeasible(t *testing.T) {
+	// With a dataset smaller than the global batch no configuration is
+	// feasible; with the standard setup all are.
+	f5, err := Figure5(7, "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.MPE["data"]) == 0 {
+		t.Error("no feasible points for imdb")
+	}
+}

@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/epoch"
+	"extradeep/internal/modeling"
+	"extradeep/internal/simulator/dataset"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// benchNamesOrAll defaults to the five paper benchmarks.
+func benchNamesOrAll(names []string) []string {
+	if len(names) == 0 {
+		return dataset.Names()
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — case-study model vs. measurement with confidence interval.
+// ---------------------------------------------------------------------
+
+// Figure3Point is one bar of Fig. 3.
+type Figure3Point struct {
+	Ranks      int
+	Measured   float64
+	Predicted  float64
+	ErrorPct   float64
+	CILo, CIHi float64
+	WithinCI   bool
+	Modeling   bool
+}
+
+// Figure3Result reproduces Fig. 3: the training-time-per-epoch model of
+// the case study against measured runs, with the 95% confidence interval.
+type Figure3Result struct {
+	Model  *modeling.Model
+	Points []Figure3Point
+}
+
+// Figure3 runs the case-study campaign and derives the figure's series.
+func Figure3(seed int64) (*Figure3Result, error) {
+	cs, err := CaseStudy(seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure3Result{Model: cs.EpochModel}
+	mod := make(map[int]bool)
+	for _, x := range caseStudyModelingRanks {
+		mod[x] = true
+	}
+	for _, ranks := range sortedIntKeys(cs.Actuals) {
+		lo, hi := cs.EpochModel.PredictInterval(0.95, float64(ranks))
+		meas := cs.Actuals[ranks]
+		out.Points = append(out.Points, Figure3Point{
+			Ranks:     ranks,
+			Measured:  meas,
+			Predicted: cs.EpochModel.Predict(float64(ranks)),
+			ErrorPct:  cs.Errors[ranks],
+			CILo:      lo,
+			CIHi:      hi,
+			WithinCI:  meas >= lo && meas <= hi,
+			Modeling:  mod[ranks],
+		})
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 3 table.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 3: training time per epoch, model vs. measured (95% CI) ===\n")
+	fmt.Fprintf(&b, "model: %s\n\n", r.Model.Function)
+	t := &Table{Header: []string{"ranks", "measured [s]", "predicted [s]", "error", "95% CI", "within", "set"}}
+	for _, p := range r.Points {
+		set := "eval"
+		if p.Modeling {
+			set = "model"
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Ranks), secs(p.Measured), secs(p.Predicted), pct(p.ErrorPct),
+			fmt.Sprintf("[%.1f, %.1f]", p.CILo, p.CIHi), fmt.Sprintf("%v", p.WithinCI), set)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — model accuracy & predictive power per parallel strategy.
+// ---------------------------------------------------------------------
+
+// Figure5Result reproduces Fig. 5: the median percentage error of the
+// training-time-per-epoch models for data, tensor and pipeline parallelism
+// on JURECA, combining weak- and strong-scaling experiments.
+type Figure5Result struct {
+	// MPE maps strategy → node count → median percentage error across
+	// benchmarks and scaling modes.
+	MPE map[string]map[int]float64
+	// ModelingNodes and EvalNodes are the node counts of the two figure
+	// regions.
+	ModelingNodes, EvalNodes []int
+}
+
+// Figure5 runs the parallel-strategy comparison. Passing benchmark names
+// restricts the sweep (nil = all five).
+func Figure5(seed int64, benchNames ...string) (*Figure5Result, error) {
+	sys := hardware.JURECA()
+	out := &Figure5Result{MPE: make(map[string]map[int]float64)}
+	for _, stratName := range parallel.Names() {
+		strat, err := parallel.ByName(stratName)
+		if err != nil {
+			return nil, err
+		}
+		errsByNode := make(map[int][]float64)
+		for _, benchName := range benchNamesOrAll(benchNames) {
+			b, err := engine.ByName(benchName)
+			if err != nil {
+				return nil, err
+			}
+			for _, weak := range []bool{true, false} {
+				res, err := runCell(b, sys, strat, weak, seed)
+				if err != nil {
+					return nil, fmt.Errorf("figure5 %s/%s weak=%v: %w", stratName, benchName, weak, err)
+				}
+				if res == nil {
+					continue
+				}
+				for ranks := range res.AppActuals[epoch.AppPath] {
+					if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
+						nodes := nodesOf(sys, ranks)
+						errsByNode[nodes] = append(errsByNode[nodes], e)
+					}
+				}
+			}
+		}
+		mpe := make(map[int]float64, len(errsByNode))
+		for nodes, errs := range errsByNode {
+			mpe[nodes] = medianOf(errs)
+		}
+		out.MPE[stratName] = mpe
+	}
+	for _, r := range jurecaModelingRanks {
+		out.ModelingNodes = append(out.ModelingNodes, nodesOf(sys, r))
+	}
+	for _, r := range jurecaEvalRanks {
+		out.EvalNodes = append(out.EvalNodes, nodesOf(sys, r))
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 5 table.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 5: MPE of T_epoch models per parallel strategy (JURECA) ===\n\n")
+	t := &Table{Header: []string{"nodes", "data", "tensor", "pipeline", "region"}}
+	nodes := sortedIntKeys(r.MPE["data"])
+	modSet := make(map[int]bool)
+	for _, n := range r.ModelingNodes {
+		modSet[n] = true
+	}
+	for _, n := range nodes {
+		region := "predictive power"
+		if modSet[n] {
+			region = "model accuracy"
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range parallel.Names() {
+			if v, ok := r.MPE[s][n]; ok {
+				row = append(row, pct(v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, region)
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — DEEP vs. JURECA under data parallelism.
+// ---------------------------------------------------------------------
+
+// Figure6Result reproduces Fig. 6: the MPE of the training-time models on
+// the two systems (1 GPU/node without NCCL vs. 4 GPUs/node with NCCL).
+type Figure6Result struct {
+	// MPE maps system name → node count → MPE across benchmarks and
+	// scaling modes.
+	MPE map[string]map[int]float64
+}
+
+// Figure6 runs the system comparison.
+func Figure6(seed int64, benchNames ...string) (*Figure6Result, error) {
+	out := &Figure6Result{MPE: make(map[string]map[int]float64)}
+	for _, sys := range []hardware.System{hardware.DEEP(), hardware.JURECA()} {
+		errsByNode := make(map[int][]float64)
+		for _, benchName := range benchNamesOrAll(benchNames) {
+			b, err := engine.ByName(benchName)
+			if err != nil {
+				return nil, err
+			}
+			for _, weak := range []bool{true, false} {
+				res, err := runCell(b, sys, parallel.DataParallel{FusionBuckets: 4}, weak, seed)
+				if err != nil {
+					return nil, fmt.Errorf("figure6 %s/%s: %w", sys.Name, benchName, err)
+				}
+				if res == nil {
+					continue
+				}
+				for ranks := range res.AppActuals[epoch.AppPath] {
+					if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
+						errsByNode[nodesOf(sys, ranks)] = append(errsByNode[nodesOf(sys, ranks)], e)
+					}
+				}
+			}
+		}
+		mpe := make(map[int]float64, len(errsByNode))
+		for nodes, errs := range errsByNode {
+			mpe[nodes] = medianOf(errs)
+		}
+		out.MPE[sys.Name] = mpe
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 6 table.
+func (r *Figure6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 6: MPE of T_epoch models, DEEP (no NCCL) vs JURECA (NCCL) ===\n\n")
+	t := &Table{Header: []string{"nodes", "DEEP", "JURECA"}}
+	for _, n := range sortedIntKeys(r.MPE["DEEP"]) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, sysName := range []string{"DEEP", "JURECA"} {
+			if v, ok := r.MPE[sysName][n]; ok {
+				row = append(row, pct(v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — predictive power per benchmark on DEEP.
+// ---------------------------------------------------------------------
+
+// Figure7Result reproduces Fig. 7: the per-benchmark percentage error of
+// the runtime-per-epoch models at the evaluation points on DEEP.
+type Figure7Result struct {
+	// Error maps benchmark → node count → percentage error (median over
+	// weak/strong scaling).
+	Error map[string]map[int]float64
+	// EvalNodes is the x-axis.
+	EvalNodes []int
+}
+
+// Figure7 runs the benchmark comparison.
+func Figure7(seed int64, benchNames ...string) (*Figure7Result, error) {
+	sys := hardware.DEEP()
+	out := &Figure7Result{Error: make(map[string]map[int]float64), EvalNodes: deepEvalRanks}
+	for _, benchName := range benchNamesOrAll(benchNames) {
+		b, err := engine.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		errsByNode := make(map[int][]float64)
+		for _, weak := range []bool{true, false} {
+			res, err := runCell(b, sys, parallel.DataParallel{FusionBuckets: 4}, weak, seed)
+			if err != nil {
+				return nil, fmt.Errorf("figure7 %s: %w", benchName, err)
+			}
+			if res == nil {
+				continue
+			}
+			for _, ranks := range deepEvalRanks {
+				if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
+					errsByNode[ranks] = append(errsByNode[ranks], e)
+				}
+			}
+		}
+		byNode := make(map[int]float64)
+		for nodes, errs := range errsByNode {
+			byNode[nodes] = medianOf(errs)
+		}
+		out.Error[benchName] = byNode
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 7 table.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 7: predictive power per benchmark, data parallelism, DEEP ===\n\n")
+	names := make([]string, 0, len(r.Error))
+	for _, n := range dataset.Names() {
+		if _, ok := r.Error[n]; ok {
+			names = append(names, n)
+		}
+	}
+	t := &Table{Header: append([]string{"nodes"}, names...)}
+	for _, n := range r.EvalNodes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, bench := range names {
+			if v, ok := r.Error[bench][n]; ok {
+				row = append(row, pct(v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 — profiling overhead with and without efficient sampling.
+// ---------------------------------------------------------------------
+
+// Figure8Row is one benchmark of Fig. 8.
+type Figure8Row struct {
+	Benchmark string
+	// StandardExec and StandardProfiling are the per-epoch executed time
+	// and profiling overhead when profiling full epochs.
+	StandardExec, StandardProfiling float64
+	// SampledExec and SampledProfiling are the per-epoch numbers under
+	// the efficient sampling strategy.
+	SampledExec, SampledProfiling float64
+	// Savings is the relative reduction of profiled execution time.
+	Savings float64
+}
+
+// Figure8Result reproduces Fig. 8 (64 nodes, data parallelism, DEEP).
+type Figure8Result struct {
+	Rows []Figure8Row
+	// AvgSavings is the average reduction (paper: ≈94.9%).
+	AvgSavings float64
+}
+
+// Figure8 computes the profiling-overhead comparison.
+func Figure8(benchNames ...string) (*Figure8Result, error) {
+	out := &Figure8Result{}
+	var sum float64
+	for _, benchName := range benchNamesOrAll(benchNames) {
+		b, err := engine.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		cfg := engine.RunConfig{
+			System:      hardware.DEEP(),
+			Strategy:    parallel.DataParallel{FusionBuckets: 4},
+			Ranks:       64,
+			WeakScaling: true,
+		}
+		st, err := engine.Stats(b, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 %s: %w", benchName, err)
+		}
+		row := Figure8Row{
+			Benchmark:         benchName,
+			StandardExec:      st.ExecTimePerEpoch,
+			StandardProfiling: st.ProfilingTimeFull,
+			SampledExec:       st.SampledExecPerEpoch,
+			SampledProfiling:  st.ProfilingTimeSampled,
+			Savings:           st.SavingsFraction(),
+		}
+		out.Rows = append(out.Rows, row)
+		sum += row.Savings
+	}
+	if len(out.Rows) > 0 {
+		out.AvgSavings = sum / float64(len(out.Rows))
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 8 table.
+func (r *Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 8: profiling overhead, standard vs efficient sampling (64 nodes, DEEP) ===\n\n")
+	t := &Table{Header: []string{"benchmark", "std exec [s]", "std prof [s]", "sampled exec [s]", "sampled prof [s]", "savings"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, secs(row.StandardExec), secs(row.StandardProfiling),
+			secs(row.SampledExec), secs(row.SampledProfiling), pct(row.Savings*100))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naverage profiling-time reduction: %s   [paper: 94.9%%]\n", pct(r.AvgSavings*100))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4b — cost-effective training configurations (strong scaling).
+// ---------------------------------------------------------------------
+
+// Figure4bResult reproduces the Fig. 4b example: a strong-scaling
+// runtime/cost trade-off with a target time and budget, and the most
+// cost-effective feasible configuration.
+type Figure4bResult struct {
+	// Candidates are the assessed configurations.
+	Candidates []analysis.Feasibility
+	// MaxTime and Budget are the applied constraints.
+	MaxTime, Budget float64
+	// Best is the selected configuration.
+	Best analysis.Feasibility
+	// RuntimeModel is the underlying strong-scaling epoch model.
+	RuntimeModel *modeling.Model
+}
+
+// Figure4b runs a strong-scaling ImageNet campaign on DEEP and the
+// cost-effectiveness analysis of Section 3.3. The target time and budget
+// are placed mid-range (like the paper's 40 s / 2.8 core-hours) so the
+// technically and economically feasible regions genuinely overlap on a
+// strict subset of the candidates.
+func Figure4b(seed int64) (*Figure4bResult, error) {
+	b, err := engine.ByName("imagenet")
+	if err != nil {
+		return nil, err
+	}
+	sys := hardware.DEEP()
+	res, err := runCell(b, sys, parallel.DataParallel{FusionBuckets: 4}, false, seed)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("figure4b: no feasible campaign")
+	}
+	model := res.Models.App[epoch.AppPath]
+	cm := analysis.CostModel{Runtime: model.Function, CoresPerRank: float64(sys.CoresPerRank)}
+	candidates := []float64{16, 24, 32, 40, 48, 56, 64}
+	// Place the constraints mid-range, like the paper's example.
+	maxTime := model.Predict(28)
+	budget := cm.CoreHours(48)
+	constraint := analysis.Constraint{MaxTime: maxTime, Budget: budget}
+	fs, err := analysis.Evaluate(model.Function, cm, candidates, constraint)
+	if err != nil {
+		return nil, err
+	}
+	best, err := analysis.MostCostEffective(model.Function, cm, candidates, constraint)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure4bResult{
+		Candidates:   fs,
+		MaxTime:      maxTime,
+		Budget:       budget,
+		Best:         best,
+		RuntimeModel: model,
+	}, nil
+}
+
+// Render formats the Fig. 4b table.
+func (r *Figure4bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Figure 4b: cost-effective configurations (ImageNet, strong scaling, DEEP) ===\n")
+	fmt.Fprintf(&b, "T_epoch(x1) = %s\n", r.RuntimeModel.Function)
+	fmt.Fprintf(&b, "constraints: max time %.2f s, budget %.2f core-hours\n\n", r.MaxTime, r.Budget)
+	t := &Table{Header: []string{"nodes", "time [s]", "cost [core-h]", "time ok", "cost ok", "efficiency", "selected"}}
+	for _, f := range r.Candidates {
+		sel := ""
+		if f.Ranks == r.Best.Ranks {
+			sel = "<== most cost-effective"
+		}
+		t.AddRow(fmt.Sprintf("%.0f", f.Ranks), secs(f.Time), fmt.Sprintf("%.3f", f.Cost),
+			fmt.Sprintf("%v", f.TimeOK), fmt.Sprintf("%v", f.CostOK),
+			fmt.Sprintf("%.3f", f.Efficiency), sel)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extradeep/internal/plot"
+	"extradeep/internal/simulator/dataset"
+	"extradeep/internal/simulator/parallel"
+)
+
+// Chart renders Fig. 3 as an SVG line chart: the model curve with its 95%
+// confidence band plus the measured values as markers.
+func (r *Figure3Result) Chart() *plot.LineChart {
+	var xs, pred, lo, hi, meas []float64
+	for _, p := range r.Points {
+		xs = append(xs, float64(p.Ranks))
+		pred = append(pred, p.Predicted)
+		lo = append(lo, p.CILo)
+		hi = append(hi, p.CIHi)
+		meas = append(meas, p.Measured)
+	}
+	return &plot.LineChart{
+		Title:  "Figure 3: training time per epoch (model vs. measured)",
+		XLabel: "MPI ranks",
+		YLabel: "training time per epoch [s]",
+		LogX:   true,
+		Series: []plot.Series{
+			{Name: "model (95% CI)", X: xs, Y: pred, Lo: lo, Hi: hi},
+			{Name: "measured", X: xs, Y: meas, Markers: true},
+		},
+	}
+}
+
+// mpeSeries converts a node→MPE map into an aligned series.
+func mpeSeries(name string, byNode map[int]float64) plot.Series {
+	s := plot.Series{Name: name, Markers: true}
+	for _, n := range sortedIntKeys(byNode) {
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, byNode[n])
+	}
+	return s
+}
+
+// Chart renders Fig. 5 as an SVG line chart of MPE per strategy.
+func (r *Figure5Result) Chart() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:  "Figure 5: MPE of training-time models per parallel strategy (JURECA)",
+		XLabel: "nodes",
+		YLabel: "median percentage error [%]",
+		LogX:   true,
+	}
+	for _, strat := range parallel.Names() {
+		if byNode, ok := r.MPE[strat]; ok && len(byNode) > 0 {
+			c.Series = append(c.Series, mpeSeries(strat, byNode))
+		}
+	}
+	return c
+}
+
+// Chart renders Fig. 6 as an SVG line chart of MPE per system.
+func (r *Figure6Result) Chart() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:  "Figure 6: MPE of training-time models per system (data parallelism)",
+		XLabel: "nodes",
+		YLabel: "median percentage error [%]",
+		LogX:   true,
+	}
+	for _, sys := range []string{"DEEP", "JURECA"} {
+		if byNode, ok := r.MPE[sys]; ok && len(byNode) > 0 {
+			c.Series = append(c.Series, mpeSeries(sys, byNode))
+		}
+	}
+	return c
+}
+
+// Chart renders Fig. 7 as an SVG line chart of per-benchmark error.
+func (r *Figure7Result) Chart() *plot.LineChart {
+	c := &plot.LineChart{
+		Title:  "Figure 7: predictive power per benchmark (DEEP, data parallelism)",
+		XLabel: "nodes",
+		YLabel: "percentage error [%]",
+		LogX:   true,
+	}
+	for _, bench := range dataset.Names() {
+		if byNode, ok := r.Error[bench]; ok && len(byNode) > 0 {
+			c.Series = append(c.Series, mpeSeries(bench, byNode))
+		}
+	}
+	return c
+}
+
+// Chart renders Fig. 8 as a grouped bar chart on a log scale, matching the
+// paper's presentation.
+func (r *Figure8Result) Chart() *plot.BarChart {
+	c := &plot.BarChart{
+		Title:       "Figure 8: profiling overhead, standard vs. efficient sampling (64 nodes)",
+		YLabel:      "median time per epoch [s] (log)",
+		SeriesNames: []string{"std exec", "std profiling", "sampled exec", "sampled profiling"},
+		LogY:        true,
+	}
+	for _, row := range r.Rows {
+		c.Groups = append(c.Groups, plot.BarGroup{
+			Label: row.Benchmark,
+			Values: []float64{
+				row.StandardExec, row.StandardProfiling,
+				row.SampledExec, row.SampledProfiling,
+			},
+		})
+	}
+	return c
+}
+
+// Charts renders Fig. 4b as two SVG line charts (training time and cost
+// over the candidate node counts, with the feasibility constraints drawn
+// as horizontal reference lines).
+func (r *Figure4bResult) Charts() (timeChart, costChart *plot.LineChart) {
+	var xs, times, costs []float64
+	for _, f := range r.Candidates {
+		xs = append(xs, f.Ranks)
+		times = append(times, f.Time)
+		costs = append(costs, f.Cost)
+	}
+	constTime := make([]float64, len(xs))
+	constBudget := make([]float64, len(xs))
+	for i := range xs {
+		constTime[i] = r.MaxTime
+		constBudget[i] = r.Budget
+	}
+	timeChart = &plot.LineChart{
+		Title:  "Figure 4b: training time vs. target time",
+		XLabel: "nodes",
+		YLabel: "training time [s]",
+		Series: []plot.Series{
+			{Name: "training time", X: xs, Y: times, Markers: true},
+			{Name: fmt.Sprintf("target time (%.0f s)", r.MaxTime), X: xs, Y: constTime},
+		},
+	}
+	costChart = &plot.LineChart{
+		Title:  "Figure 4b: training cost vs. budget",
+		XLabel: "nodes",
+		YLabel: "training cost [core-h]",
+		Series: []plot.Series{
+			{Name: "training cost", X: xs, Y: costs, Markers: true},
+			{Name: fmt.Sprintf("budget (%.2f core-h)", r.Budget), X: xs, Y: constBudget},
+		},
+	}
+	return timeChart, costChart
+}

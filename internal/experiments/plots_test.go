@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure3Chart(t *testing.T) {
+	f, err := Figure3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := f.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "model (95% CI)", "measured", "polygon"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestFigure5Chart(t *testing.T) {
+	f, err := Figure5(7, "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := f.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"data", "tensor", "pipeline", "nodes"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestFigure6Chart(t *testing.T) {
+	f, err := Figure6(7, "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := f.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "DEEP") || !strings.Contains(svg, "JURECA") {
+		t.Error("chart missing system series")
+	}
+}
+
+func TestFigure7Chart(t *testing.T) {
+	f, err := Figure7(7, "cifar10", "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := f.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "cifar10") || !strings.Contains(svg, "imdb") {
+		t.Error("chart missing benchmark series")
+	}
+}
+
+func TestFigure8Chart(t *testing.T) {
+	f, err := Figure8("cifar10", "imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := f.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"std exec", "sampled exec", "cifar10", "imdb"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestFigure4bCharts(t *testing.T) {
+	f, err := Figure4b(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeChart, costChart := f.Charts()
+	svgT, err := timeChart.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgC, err := costChart.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svgT, "target time") {
+		t.Error("time chart missing constraint line")
+	}
+	if !strings.Contains(svgC, "budget") {
+		t.Error("cost chart missing constraint line")
+	}
+}

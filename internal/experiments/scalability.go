@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"extradeep/internal/analysis"
+	"extradeep/internal/epoch"
+	"extradeep/internal/modeling"
+	"extradeep/internal/plot"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// ScalabilityPoint is one row of the scalability report.
+type ScalabilityPoint struct {
+	Ranks      float64
+	Time       float64
+	SpeedupPct float64
+	Efficiency float64
+	Cost       float64
+}
+
+// ScalabilityResult reproduces the Section 3.1–3.2 analyses for one
+// benchmark: the speedup metric Δ (Eq. 11), its PMNF model (Eq. 12), the
+// parallel efficiency ε (Eq. 13), and the cost curve (Eq. 14).
+type ScalabilityResult struct {
+	Benchmark    string
+	ScalingMode  string
+	RuntimeModel *modeling.Model
+	SpeedupModel *modeling.Model
+	Points       []ScalabilityPoint
+}
+
+// Scalability runs the analysis for a benchmark on DEEP. Weak scaling
+// reproduces the case study's negative "speedup" (growing runtime); strong
+// scaling shows the classic diminishing-returns curve.
+func Scalability(seed int64, benchName string, weak bool) (*ScalabilityResult, error) {
+	b, err := engine.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	sys := hardware.DEEP()
+	res, err := runCell(b, sys, parallel.DataParallel{FusionBuckets: 4}, weak, seed)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("experiments: no feasible scalability campaign for %s", benchName)
+	}
+	model := res.Models.App[epoch.AppPath]
+
+	xs := make([]float64, 0, len(deepModelingRanks)+len(deepEvalRanks))
+	for _, r := range append(append([]int(nil), deepModelingRanks...), deepEvalRanks...) {
+		xs = append(xs, float64(r))
+	}
+	speedups, err := analysis.Speedups(model.Function, xs)
+	if err != nil {
+		return nil, err
+	}
+	effs, err := analysis.Efficiencies(model.Function, xs)
+	if err != nil {
+		return nil, err
+	}
+	opts := modeling.DefaultOptions()
+	if !weak {
+		opts = modeling.StrongScalingOptions()
+	}
+	speedupModel, err := analysis.SpeedupModel(model.Function, xs, opts)
+	if err != nil {
+		return nil, err
+	}
+	cm := analysis.CostModel{Runtime: model.Function, CoresPerRank: float64(sys.CoresPerRank)}
+
+	out := &ScalabilityResult{
+		Benchmark:    benchName,
+		ScalingMode:  map[bool]string{true: "weak", false: "strong"}[weak],
+		RuntimeModel: model,
+		SpeedupModel: speedupModel,
+	}
+	for i, x := range xs {
+		out.Points = append(out.Points, ScalabilityPoint{
+			Ranks:      x,
+			Time:       model.Predict(x),
+			SpeedupPct: speedups[i],
+			Efficiency: effs[i],
+			Cost:       cm.CoreHours(x),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the scalability report.
+func (r *ScalabilityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Scalability analysis (Sections 3.1-3.2): %s, %s scaling, DEEP ===\n", r.Benchmark, r.ScalingMode)
+	fmt.Fprintf(&b, "runtime model: T(p) = %s\n", r.RuntimeModel.Function)
+	fmt.Fprintf(&b, "speedup model: D(p) = %s\n\n", r.SpeedupModel.Function)
+	t := &Table{Header: []string{"ranks", "T(p) [s]", "speedup", "efficiency", "cost [core-h]"}}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f", p.Ranks), secs(p.Time), pct(p.SpeedupPct),
+			fmt.Sprintf("%.3f", p.Efficiency), fmt.Sprintf("%.3f", p.Cost))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Chart renders the runtime and cost curves.
+func (r *ScalabilityResult) Chart() *plot.LineChart {
+	var xs, times, costs []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.Ranks)
+		times = append(times, p.Time)
+		costs = append(costs, p.Cost)
+	}
+	return &plot.LineChart{
+		Title:  fmt.Sprintf("Scalability: %s (%s scaling)", r.Benchmark, r.ScalingMode),
+		XLabel: "MPI ranks",
+		YLabel: "seconds / core-hours",
+		LogX:   true,
+		Series: []plot.Series{
+			{Name: "training time per epoch [s]", X: xs, Y: times, Markers: true},
+			{Name: "cost per epoch [core-h]", X: xs, Y: costs, Markers: true},
+		},
+	}
+}

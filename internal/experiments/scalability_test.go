@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilityWeak(t *testing.T) {
+	r, err := Scalability(7, "cifar10", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScalingMode != "weak" {
+		t.Errorf("mode = %s", r.ScalingMode)
+	}
+	// Weak scaling with overhead: runtime grows, speedup goes negative,
+	// efficiency falls below 1.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.Time <= first.Time {
+		t.Error("weak-scaling runtime should grow")
+	}
+	if last.SpeedupPct >= 0 {
+		t.Errorf("weak-scaling 'speedup' = %v, want negative", last.SpeedupPct)
+	}
+	if first.Efficiency != 1 {
+		t.Errorf("baseline efficiency = %v, want 1", first.Efficiency)
+	}
+	if last.Cost <= first.Cost {
+		t.Error("cost should grow with allocation")
+	}
+	if !strings.Contains(r.Render(), "speedup model") {
+		t.Error("render missing speedup model")
+	}
+}
+
+func TestScalabilityStrong(t *testing.T) {
+	r, err := Scalability(7, "imagenet", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.Time >= first.Time {
+		t.Error("strong-scaling runtime should shrink")
+	}
+	if last.SpeedupPct <= 0 {
+		t.Errorf("strong-scaling speedup = %v, want positive", last.SpeedupPct)
+	}
+	// Diminishing returns: efficiency at the far end below the baseline.
+	if last.Efficiency >= 1 {
+		t.Errorf("efficiency at scale = %v, want <1", last.Efficiency)
+	}
+}
+
+func TestScalabilityChart(t *testing.T) {
+	r, err := Scalability(7, "cifar10", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := r.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "training time per epoch") || !strings.Contains(svg, "core-h") {
+		t.Error("chart missing series")
+	}
+}
+
+func TestScalabilityUnknownBenchmark(t *testing.T) {
+	if _, err := Scalability(7, "nope", true); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"extradeep/internal/epoch"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// SummaryResult reproduces the headline numbers of Section 4.3: the
+// average model accuracy (paper: 97.6%) over the modeling points and the
+// average prediction accuracy (paper: 93.6%) at an evaluation point four
+// times the largest modeling scale, across the training-time-per-epoch
+// models of all benchmarks on DEEP under data parallelism (weak and
+// strong scaling).
+type SummaryResult struct {
+	// ModelAccuracy is 100 − the mean percentage error at the modeling
+	// points.
+	ModelAccuracy float64
+	// PredictionAccuracy is 100 − the mean percentage error at 4× the
+	// largest modeling scale.
+	PredictionAccuracy float64
+	// PerBenchmark maps benchmark → (model accuracy, prediction
+	// accuracy).
+	PerBenchmark map[string][2]float64
+}
+
+// Summary computes the headline accuracy numbers.
+func Summary(seed int64, benchNames ...string) (*SummaryResult, error) {
+	sys := hardware.DEEP()
+	strat := parallel.DataParallel{FusionBuckets: 4}
+	out := &SummaryResult{PerBenchmark: make(map[string][2]float64)}
+	var modelAccs, predAccs []float64
+	for _, benchName := range benchNamesOrAll(benchNames) {
+		b, err := engine.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		var benchModel, benchPred []float64
+		for _, weak := range []bool{true, false} {
+			res, err := runCell(b, sys, strat, weak, seed)
+			if err != nil {
+				return nil, fmt.Errorf("summary %s: %w", benchName, err)
+			}
+			if res == nil {
+				continue
+			}
+			// Model accuracy at the modeling points.
+			for _, ranks := range deepModelingRanks {
+				if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
+					benchModel = append(benchModel, 100-e)
+				}
+			}
+			// Prediction accuracy at 4× the largest modeling scale
+			// (4 × 10 = 40 ranks).
+			target := 4 * deepModelingRanks[len(deepModelingRanks)-1]
+			if e, ok := res.PercentError(epoch.AppPath, target); ok {
+				benchPred = append(benchPred, 100-e)
+			}
+		}
+		if len(benchModel) == 0 {
+			continue
+		}
+		ma := mean(benchModel)
+		pa := mean(benchPred)
+		out.PerBenchmark[benchName] = [2]float64{ma, pa}
+		modelAccs = append(modelAccs, ma)
+		if len(benchPred) > 0 {
+			predAccs = append(predAccs, pa)
+		}
+	}
+	out.ModelAccuracy = mean(modelAccs)
+	out.PredictionAccuracy = mean(predAccs)
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Render formats the summary report.
+func (r *SummaryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Section 4.3 headline numbers ===\n\n")
+	t := &Table{Header: []string{"benchmark", "model accuracy", "prediction accuracy (4x scale)"}}
+	for _, name := range []string{"cifar10", "cifar100", "imagenet", "imdb", "speechcommands"} {
+		if acc, ok := r.PerBenchmark[name]; ok {
+			t.AddRow(name, pct(acc[0]), pct(acc[1]))
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naverage model accuracy:      %s   [paper: 97.6%%]\n", pct(r.ModelAccuracy))
+	fmt.Fprintf(&b, "average prediction accuracy: %s   [paper: 93.6%%]\n", pct(r.PredictionAccuracy))
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package instrument implements Extra-Deep's built-in automated
+// instrumentation tool (step (1) of the analysis process, Fig. 1): it
+// statically analyzes Python training scripts and injects NVIDIA Tools
+// Extension (NVTX) annotations so that user-defined functions appear in
+// profiles and training steps/epochs are delimited by marks.
+//
+// The transformer is line-based and deliberately conservative:
+//
+//   - an `import nvtx` is added after the last top-level import;
+//   - every function definition gains an `@nvtx.annotate("<name>")`
+//     decorator (unless one is already present);
+//   - loops that look like epoch or training-step loops get an
+//     `nvtx.mark(...)` as the first statement of their body, producing
+//     the step/epoch timestamps the sampling strategy relies on.
+//
+// Only Python files are supported, matching the paper ("as almost all of
+// today's deep learning codes are written in Python").
+package instrument
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Report summarizes what the instrumentation changed.
+type Report struct {
+	// FunctionsAnnotated lists the function names that received an
+	// @nvtx.annotate decorator.
+	FunctionsAnnotated []string
+	// EpochLoops and StepLoops count the loop bodies that received
+	// epoch/step marks.
+	EpochLoops int
+	StepLoops  int
+	// ImportAdded reports whether `import nvtx` was inserted.
+	ImportAdded bool
+}
+
+// ErrNotPython is returned for files that do not look like Python source.
+var ErrNotPython = errors.New("instrument: only Python sources are supported")
+
+var (
+	defRe    = regexp.MustCompile(`^(\s*)def\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(`)
+	forRe    = regexp.MustCompile(`^(\s*)for\s+(.+?)\s+in\s+(.+):\s*(#.*)?$`)
+	importRe = regexp.MustCompile(`^(import\s+\w|from\s+\w+[\w.]*\s+import)`)
+)
+
+// IsPythonFile reports whether the file name has a Python extension.
+func IsPythonFile(name string) bool { return strings.HasSuffix(name, ".py") }
+
+// Instrument rewrites the given Python source, returning the instrumented
+// source and a report of the injected annotations. fileName is used only
+// for the Python check and error messages.
+func Instrument(fileName, source string) (string, *Report, error) {
+	if !IsPythonFile(fileName) {
+		return "", nil, fmt.Errorf("%w: %s", ErrNotPython, fileName)
+	}
+	lines := strings.Split(source, "\n")
+	report := &Report{}
+	var out []string
+
+	hasNVTXImport := strings.Contains(source, "import nvtx")
+	lastImport := -1
+	for i, line := range lines {
+		if importRe.MatchString(strings.TrimLeft(line, " \t")) && indentOf(line) == "" {
+			lastImport = i
+		}
+	}
+
+	// pendingMark holds a mark to insert at the first statement of the
+	// next-deeper indentation level.
+	type pending struct {
+		indent string // loop header indent; body must be deeper
+		mark   string
+	}
+	var pend []pending
+
+	flushMarks := func(lineIndent string, isBlank bool) []string {
+		var inserted []string
+		for len(pend) > 0 {
+			p := pend[len(pend)-1]
+			if isBlank {
+				break
+			}
+			if len(lineIndent) > len(p.indent) {
+				inserted = append(inserted, lineIndent+p.mark)
+				pend = pend[:len(pend)-1]
+				continue
+			}
+			// Dedent without a body (empty loop): drop the mark.
+			pend = pend[:len(pend)-1]
+		}
+		return inserted
+	}
+
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		isBlank := trimmed == "" || strings.HasPrefix(trimmed, "#")
+
+		// Insert pending loop-body marks before the first real statement
+		// of the loop body.
+		out = append(out, flushMarks(indentOf(line), isBlank)...)
+
+		if m := defRe.FindStringSubmatch(line); m != nil {
+			indent, name := m[1], m[2]
+			if !previousLineHasNVTXDecorator(out) {
+				out = append(out, fmt.Sprintf(`%s@nvtx.annotate("%s")`, indent, name))
+				report.FunctionsAnnotated = append(report.FunctionsAnnotated, name)
+			}
+		}
+		if m := forRe.FindStringSubmatch(line); m != nil {
+			indent, loopVar, iterable := m[1], m[2], m[3]
+			switch classifyLoop(loopVar, iterable) {
+			case loopEpoch:
+				pend = append(pend, pending{indent: indent, mark: `nvtx.mark("extradeep:epoch")`})
+				report.EpochLoops++
+			case loopStep:
+				pend = append(pend, pending{indent: indent, mark: `nvtx.mark("extradeep:step")`})
+				report.StepLoops++
+			}
+		}
+
+		out = append(out, line)
+
+		if i == lastImport && !hasNVTXImport {
+			out = append(out, "import nvtx")
+			report.ImportAdded = true
+			hasNVTXImport = true
+		}
+	}
+	// No imports at all: prepend.
+	if !hasNVTXImport {
+		out = append([]string{"import nvtx"}, out...)
+		report.ImportAdded = true
+	}
+	return strings.Join(out, "\n"), report, nil
+}
+
+func indentOf(line string) string {
+	for i, r := range line {
+		if r != ' ' && r != '\t' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func previousLineHasNVTXDecorator(out []string) bool {
+	for i := len(out) - 1; i >= 0; i-- {
+		t := strings.TrimSpace(out[i])
+		if t == "" {
+			continue
+		}
+		if strings.HasPrefix(t, "@") {
+			return strings.Contains(t, "nvtx")
+		}
+		return false
+	}
+	return false
+}
+
+type loopKind int
+
+const (
+	loopOther loopKind = iota
+	loopEpoch
+	loopStep
+)
+
+// classifyLoop decides whether a for-loop iterates over epochs or
+// training steps, from its variable names and iterable expression.
+func classifyLoop(loopVar, iterable string) loopKind {
+	v := strings.ToLower(loopVar)
+	it := strings.ToLower(iterable)
+	if strings.Contains(v, "epoch") || strings.Contains(it, "epoch") {
+		return loopEpoch
+	}
+	for _, marker := range []string{"batch", "step", "_ds", "dataset", "dataloader", "loader"} {
+		if strings.Contains(v, marker) || strings.Contains(it, marker) {
+			return loopStep
+		}
+	}
+	return loopOther
+}

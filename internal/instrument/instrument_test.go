@@ -1,0 +1,198 @@
+package instrument
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleTraining = `import tensorflow as tf
+import horovod.tensorflow as hvd
+
+def training_step(images, labels, first_batch):
+    with tf.GradientTape() as tape:
+        loss = model(images)
+    return loss
+
+def train(self):
+    for epoch in range(EPOCHS):
+        for batch, (images, labels) in enumerate(train_ds.take(steps)):
+            loss_value = training_step(images, labels, batch == 0)
+
+def test(self):
+    for images, labels in test_ds:
+        evaluate(images, labels)
+`
+
+func TestInstrumentAddsImport(t *testing.T) {
+	out, rep, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportAdded {
+		t.Error("import not reported")
+	}
+	if !strings.Contains(out, "import nvtx") {
+		t.Error("import nvtx missing")
+	}
+	// After the last top-level import, before the first def.
+	idx := strings.Index(out, "import nvtx")
+	if idx > strings.Index(out, "def training_step") {
+		t.Error("import placed after code")
+	}
+}
+
+func TestInstrumentDecoratesFunctions(t *testing.T) {
+	out, rep, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"training_step", "train", "test"} {
+		want := `@nvtx.annotate("` + fn + `")`
+		if !strings.Contains(out, want) {
+			t.Errorf("decorator %s missing", want)
+		}
+	}
+	if len(rep.FunctionsAnnotated) != 3 {
+		t.Errorf("annotated %d functions, want 3: %v", len(rep.FunctionsAnnotated), rep.FunctionsAnnotated)
+	}
+}
+
+func TestInstrumentMarksEpochAndStepLoops(t *testing.T) {
+	out, rep, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EpochLoops != 1 {
+		t.Errorf("epoch loops = %d, want 1", rep.EpochLoops)
+	}
+	// The step loop inside train() plus the test() loop over test_ds.
+	if rep.StepLoops != 2 {
+		t.Errorf("step loops = %d, want 2", rep.StepLoops)
+	}
+	if !strings.Contains(out, `nvtx.mark("extradeep:epoch")`) {
+		t.Error("epoch mark missing")
+	}
+	if !strings.Contains(out, `nvtx.mark("extradeep:step")`) {
+		t.Error("step mark missing")
+	}
+}
+
+func TestInstrumentMarkPlacedInsideLoopBody(t *testing.T) {
+	out, _, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, `nvtx.mark("extradeep:epoch")`) {
+			// The mark must be indented deeper than its loop header.
+			var header string
+			for j := i - 1; j >= 0; j-- {
+				if strings.Contains(lines[j], "for epoch in") {
+					header = lines[j]
+					break
+				}
+			}
+			if header == "" {
+				t.Fatal("no epoch loop header above the mark")
+			}
+			if len(indentOf(l)) <= len(indentOf(header)) {
+				t.Errorf("mark not inside loop body: %q vs %q", l, header)
+			}
+		}
+	}
+}
+
+func TestInstrumentIdempotentDecorators(t *testing.T) {
+	out1, _, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, rep2, err := Instrument("train.py", out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.FunctionsAnnotated) != 0 {
+		t.Errorf("re-instrumentation decorated %v again", rep2.FunctionsAnnotated)
+	}
+	if strings.Count(out2, `@nvtx.annotate("train")`) != 1 {
+		t.Error("duplicate decorators after re-instrumentation")
+	}
+	if rep2.ImportAdded {
+		t.Error("import added twice")
+	}
+}
+
+func TestInstrumentRejectsNonPython(t *testing.T) {
+	if _, _, err := Instrument("train.go", "package main"); !errors.Is(err, ErrNotPython) {
+		t.Errorf("err = %v, want ErrNotPython", err)
+	}
+}
+
+func TestInstrumentNoImports(t *testing.T) {
+	src := "def f():\n    pass\n"
+	out, rep, err := Instrument("f.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ImportAdded {
+		t.Error("import not added")
+	}
+	if !strings.HasPrefix(out, "import nvtx") {
+		t.Error("import should be prepended when no imports exist")
+	}
+}
+
+func TestInstrumentEmptyLoopBodyDropsMark(t *testing.T) {
+	src := "for epoch in range(3):\n    pass\nx = 1\n"
+	out, _, err := Instrument("f.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mark goes before `pass` (the body), never before `x = 1`.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "nvtx.mark") {
+			if i+1 >= len(lines) || strings.TrimSpace(lines[i+1]) != "pass" {
+				t.Errorf("mark misplaced before %q", lines[i+1])
+			}
+		}
+	}
+}
+
+func TestInstrumentPreservesAllOriginalLines(t *testing.T) {
+	out, _, err := Instrument("train.py", sampleTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sampleTraining, "\n") {
+		if !strings.Contains(out, line) {
+			t.Errorf("original line lost: %q", line)
+		}
+	}
+}
+
+func TestClassifyLoop(t *testing.T) {
+	cases := []struct {
+		v, it string
+		want  loopKind
+	}{
+		{"epoch", "range(EPOCHS)", loopEpoch},
+		{"e", "range(num_epochs)", loopEpoch},
+		{"batch, (i, l)", "enumerate(train_ds.take(s))", loopStep},
+		{"x", "dataloader", loopStep},
+		{"i", "range(10)", loopOther},
+	}
+	for _, c := range cases {
+		if got := classifyLoop(c.v, c.it); got != c.want {
+			t.Errorf("classifyLoop(%q, %q) = %v, want %v", c.v, c.it, got, c.want)
+		}
+	}
+}
+
+func TestIsPythonFile(t *testing.T) {
+	if !IsPythonFile("a.py") || IsPythonFile("a.go") || IsPythonFile("py") {
+		t.Error("IsPythonFile wrong")
+	}
+}

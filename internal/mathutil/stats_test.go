@@ -1,0 +1,374 @@
+package mathutil
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSum(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"several", []float64{1, 2, 3, 4}, 10},
+		{"negatives", []float64{-1, 1, -2, 2}, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.in); got != c.want {
+			t.Errorf("%s: Sum(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSumKahanPrecision(t *testing.T) {
+	// 1e8 copies of 0.1 would drift badly with naive summation; use a
+	// smaller but still demonstrative case.
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got := Sum(xs); !almostEqual(got, 100000, 1e-6) {
+		t.Errorf("Kahan Sum drifted: got %v, want 100000", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, ok := Mean(nil); ok {
+		t.Error("Mean(nil) reported ok")
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, ok := Mean([]float64{2, 4, 6})
+	if !ok || got != 4 {
+		t.Errorf("Mean = %v, ok=%v; want 4, true", got, ok)
+	}
+}
+
+func TestMustMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMean(nil) did not panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestMedianOdd(t *testing.T) {
+	got, ok := Median([]float64{9, 1, 5})
+	if !ok || got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	got, ok := Median([]float64{4, 1, 3, 2})
+	if !ok || got != 2.5 {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if _, ok := Median(nil); ok {
+		t.Error("Median(nil) reported ok")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMedianIsRobustToOutlier(t *testing.T) {
+	base := []float64{10, 10, 10, 10, 1e9}
+	got, _ := Median(base)
+	if got != 10 {
+		t.Errorf("Median with outlier = %v, want 10", got)
+	}
+}
+
+// Property: the median always lies within [min, max] of the sample.
+func TestMedianBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, ok := Median(xs)
+		if !ok {
+			return false
+		}
+		min, max, _ := MinMax(xs)
+		return m >= min && m <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the median is invariant under permutation of the sample.
+func TestMedianPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		want, _ := Median(xs)
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, _ := Median(shuffled)
+		if got != want {
+			t.Fatalf("median changed under permutation: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+	if q, _ := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("q0.5 = %v, want 3", q)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if q, _ := Quantile(xs, 0.25); !almostEqual(q, 2.5, 1e-12) {
+		t.Errorf("q0.25 = %v, want 2.5", q)
+	}
+}
+
+func TestQuantileInvalid(t *testing.T) {
+	if _, ok := Quantile([]float64{1}, -0.1); ok {
+		t.Error("negative q accepted")
+	}
+	if _, ok := Quantile([]float64{1}, 1.1); ok {
+		t.Error("q > 1 accepted")
+	}
+	if _, ok := Quantile(nil, 0.5); ok {
+		t.Error("empty input accepted")
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v, ok := Quantile(xs, q)
+			if !ok {
+				t.Fatalf("Quantile failed at q=%v", q)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("quantile not monotone: q=%v gave %v after %v", q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	v, ok := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !ok || !almostEqual(v, 4.571428571428571, 1e-12) {
+		t.Errorf("Variance = %v, want ≈4.5714", v)
+	}
+}
+
+func TestVarianceTooFew(t *testing.T) {
+	if _, ok := Variance([]float64{1}); ok {
+		t.Error("Variance of single element reported ok")
+	}
+}
+
+func TestStdDevConstant(t *testing.T) {
+	sd, ok := StdDev([]float64{3, 3, 3})
+	if !ok || sd != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", sd)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cv, ok := CoefficientOfVariation([]float64{90, 100, 110})
+	if !ok || !almostEqual(cv, 0.1, 1e-12) {
+		t.Errorf("CV = %v, want 0.1", cv)
+	}
+}
+
+func TestCoefficientOfVariationZeroMean(t *testing.T) {
+	if _, ok := CoefficientOfVariation([]float64{-1, 1}); ok {
+		t.Error("CV with zero mean reported ok")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, ok := MinMax([]float64{3, -2, 7, 0})
+	if !ok || min != -2 || max != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-2,7)", min, max)
+	}
+}
+
+func TestAbsPercentError(t *testing.T) {
+	if e := AbsPercentError(110, 100); !almostEqual(e, 10, 1e-12) {
+		t.Errorf("APE = %v, want 10", e)
+	}
+	if e := AbsPercentError(0, 0); e != 0 {
+		t.Errorf("APE(0,0) = %v, want 0", e)
+	}
+	if e := AbsPercentError(1, 0); !math.IsInf(e, 1) {
+		t.Errorf("APE(1,0) = %v, want +Inf", e)
+	}
+}
+
+func TestSMAPEPerfect(t *testing.T) {
+	s, ok := SMAPE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if !ok || s != 0 {
+		t.Errorf("SMAPE perfect = %v, want 0", s)
+	}
+}
+
+func TestSMAPEWorstCase(t *testing.T) {
+	// Opposite signs give the maximum symmetric error of 200%.
+	s, ok := SMAPE([]float64{1}, []float64{-1})
+	if !ok || !almostEqual(s, 200, 1e-9) {
+		t.Errorf("SMAPE opposite = %v, want 200", s)
+	}
+}
+
+func TestSMAPEMismatch(t *testing.T) {
+	if _, ok := SMAPE([]float64{1}, []float64{1, 2}); ok {
+		t.Error("SMAPE length mismatch reported ok")
+	}
+}
+
+// Property: SMAPE is symmetric in its arguments and bounded by [0, 200].
+func TestSMAPESymmetryBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 50
+			b[i] = rng.NormFloat64() * 50
+		}
+		s1, ok1 := SMAPE(a, b)
+		s2, ok2 := SMAPE(b, a)
+		if !ok1 || !ok2 {
+			t.Fatal("SMAPE failed on valid input")
+		}
+		if !almostEqual(s1, s2, 1e-9) {
+			t.Fatalf("SMAPE asymmetric: %v vs %v", s1, s2)
+		}
+		if s1 < 0 || s1 > 200+1e-9 {
+			t.Fatalf("SMAPE out of bounds: %v", s1)
+		}
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	m, ok := MAPE([]float64{110, 90}, []float64{100, 100})
+	if !ok || !almostEqual(m, 10, 1e-12) {
+		t.Errorf("MAPE = %v, want 10", m)
+	}
+}
+
+func TestMAPESkipsZeroActuals(t *testing.T) {
+	m, ok := MAPE([]float64{5, 110}, []float64{0, 100})
+	if !ok || !almostEqual(m, 10, 1e-12) {
+		t.Errorf("MAPE = %v, want 10 (zero-actual point skipped)", m)
+	}
+}
+
+func TestMAPEAllZeroActuals(t *testing.T) {
+	if _, ok := MAPE([]float64{1}, []float64{0}); ok {
+		t.Error("MAPE with only zero actuals reported ok")
+	}
+}
+
+func TestRSS(t *testing.T) {
+	r, ok := RSS([]float64{1, 2}, []float64{0, 4})
+	if !ok || r != 5 {
+		t.Errorf("RSS = %v, want 5", r)
+	}
+}
+
+func TestRSquaredPerfectFit(t *testing.T) {
+	r2, ok := RSquared([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if !ok || !almostEqual(r2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestRSquaredZeroVariance(t *testing.T) {
+	if _, ok := RSquared([]float64{1, 1}, []float64{2, 2}); ok {
+		t.Error("R² with zero TSS reported ok")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if v := Log2(8); v != 3 {
+		t.Errorf("Log2(8) = %v, want 3", v)
+	}
+	if v := Log2(0); !math.IsNaN(v) {
+		t.Errorf("Log2(0) = %v, want NaN", v)
+	}
+	if v := Log2(-1); !math.IsNaN(v) {
+		t.Errorf("Log2(-1) = %v, want NaN", v)
+	}
+}
+
+// Property: for sorted data the type-7 quantile at rank positions matches
+// the raw order statistics.
+func TestQuantileOrderStatisticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for k := 0; k < n; k++ {
+			q := float64(k) / float64(n-1)
+			v, _ := Quantile(xs, q)
+			if !almostEqual(v, sorted[k], 1e-9) {
+				t.Fatalf("quantile at rank %d = %v, want %v", k, v, sorted[k])
+			}
+		}
+	}
+}

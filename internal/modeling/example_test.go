@@ -1,0 +1,44 @@
+package modeling_test
+
+import (
+	"fmt"
+
+	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+)
+
+// ExampleFit models noise-free measurements that follow T(p) = 10 + 2·p
+// and extrapolates to an unmeasured scale.
+func ExampleFit() {
+	points := []measurement.Point{{2}, {4}, {8}, {16}, {32}}
+	values := []float64{14, 18, 26, 42, 74}
+	model, err := modeling.Fit(points, values, modeling.DefaultOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("T(p) = %s\n", model.Function)
+	fmt.Printf("T(64) = %.0f\n", model.Predict(64))
+	// Output:
+	// T(p) = 10 + 2*x1
+	// T(64) = 138
+}
+
+// ExampleFitSeries shows the repetition-aware entry point: the median over
+// repeated measurements per point feeds the fit.
+func ExampleFitSeries() {
+	var s measurement.Series
+	s.Add(measurement.Point{2}, 20.1, 19.9, 20.0)
+	s.Add(measurement.Point{4}, 20.0, 20.2, 19.8)
+	s.Add(measurement.Point{8}, 20.1, 20.0, 19.9)
+	s.Add(measurement.Point{16}, 19.9, 20.1, 20.0)
+	s.Add(measurement.Point{32}, 20.0, 20.0, 20.0)
+	model, err := modeling.FitSeries(&s, modeling.DefaultOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("T(p) = %s\n", model.Function)
+	// Output:
+	// T(p) = 20
+}

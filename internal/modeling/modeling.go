@@ -1,0 +1,548 @@
+// Package modeling implements Extra-Deep's automated empirical model
+// creation (Section 2.3 of the paper): it instantiates the Performance
+// Model Normal Form with exponents drawn from configurable sets I and J,
+// fits the coefficients of every hypothesis by linear regression, and
+// selects the hypothesis with the smallest cross-validated symmetric mean
+// absolute percentage error (SMAPE).
+package modeling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"extradeep/internal/mathutil"
+	"extradeep/internal/measurement"
+	"extradeep/internal/pmnf"
+)
+
+// Options steers hypothesis-space generation and model selection.
+type Options struct {
+	// PolyExponents is the exponent set I for the polynomial part.
+	PolyExponents []float64
+	// LogExponents is the exponent set J for the logarithmic part.
+	LogExponents []int
+	// MaxTerms is the maximum number of non-constant terms h per model.
+	// The constant c₀ is always present. Extra-P's default is 1 for
+	// single-parameter models.
+	MaxTerms int
+	// UseMean selects mean instead of median aggregation over repetitions
+	// (for the noise-resilience ablation).
+	UseMean bool
+	// MinPoints is the minimum number of measurement points required;
+	// zero means measurement.MinModelingPoints (= 5).
+	MinPoints int
+	// NonNegativeCoefficients rejects hypotheses whose fitted leading
+	// coefficients are negative; performance metrics of scaling
+	// applications are typically non-decreasing, and negative terms tend
+	// to extrapolate into nonsense. The constant may still be any sign.
+	NonNegativeCoefficients bool
+}
+
+// DefaultOptions returns the Extra-P default search space: polynomial
+// exponents in {0, 1/4, 1/3, 1/2, 2/3, 3/4, 1, 5/4, 4/3, 3/2, 5/3, 7/4, 2,
+// 9/4, 7/3, 5/2, 8/3, 11/4, 3} and logarithmic exponents in {0, 1, 2},
+// with a single non-constant term.
+func DefaultOptions() Options {
+	return Options{
+		PolyExponents: []float64{
+			0, 1.0 / 4, 1.0 / 3, 1.0 / 2, 2.0 / 3, 3.0 / 4, 1,
+			5.0 / 4, 4.0 / 3, 3.0 / 2, 5.0 / 3, 7.0 / 4, 2,
+			9.0 / 4, 7.0 / 3, 5.0 / 2, 8.0 / 3, 11.0 / 4, 3,
+		},
+		LogExponents:            []int{0, 1, 2},
+		MaxTerms:                1,
+		NonNegativeCoefficients: true,
+	}
+}
+
+// StrongScalingOptions extends the default search space with negative
+// polynomial exponents, which are required to model runtimes that shrink
+// with scale (strong scaling: T ≈ a + b·x⁻¹ or b·log(x)/x). The positive
+// shapes remain available, so weak-scaling data still fits.
+func StrongScalingOptions() Options {
+	o := DefaultOptions()
+	neg := []float64{-1.0 / 4, -1.0 / 3, -1.0 / 2, -2.0 / 3, -3.0 / 4, -1, -4.0 / 3, -3.0 / 2, -2}
+	o.PolyExponents = append(neg, o.PolyExponents...)
+	return o
+}
+
+// SmallOptions returns a reduced search space (integer exponents only),
+// used by the search-space ablation.
+func SmallOptions() Options {
+	o := DefaultOptions()
+	o.PolyExponents = []float64{0, 1, 2, 3}
+	return o
+}
+
+// LargeOptions returns an enlarged search space with two compound terms,
+// used by the search-space ablation.
+func LargeOptions() Options {
+	o := DefaultOptions()
+	o.MaxTerms = 2
+	return o
+}
+
+// Model is a fitted performance model together with its quality statistics.
+type Model struct {
+	// Function is the selected PMNF instance.
+	Function *pmnf.Function
+	// SMAPE is the cross-validated symmetric mean absolute percentage
+	// error (percent) that selected this hypothesis.
+	SMAPE float64
+	// RSS is the residual sum of squares on the modeling points.
+	RSS float64
+	// R2 is the coefficient of determination on the modeling points
+	// (NaN when the data has no variance).
+	R2 float64
+	// RelResidualStd is the standard deviation of the relative residuals
+	// (predicted−actual)/actual on the modeling points; it widens the
+	// prediction intervals multiplicatively with the predicted value.
+	RelResidualStd float64
+	// Points and Actual are the modeling inputs the model was fitted on.
+	Points []measurement.Point
+	// Actual holds the aggregated (median or mean) observations at Points.
+	Actual []float64
+}
+
+// Predict evaluates the model at the given parameter values.
+func (m *Model) Predict(params ...float64) float64 { return m.Function.Eval(params...) }
+
+// PredictInterval returns the two-sided confidence interval of level conf
+// (e.g. 0.95) around the prediction at the given point, based on the
+// relative residual spread of the fit and a Student-t quantile with
+// n−k degrees of freedom.
+func (m *Model) PredictInterval(conf float64, params ...float64) (lo, hi float64) {
+	pred := m.Predict(params...)
+	df := len(m.Points) - (len(m.Function.Terms) + 1)
+	if df < 1 {
+		df = 1
+	}
+	t := mathutil.StudentTQuantile(0.5+conf/2, df)
+	if math.IsNaN(t) {
+		return pred, pred
+	}
+	delta := math.Abs(pred) * m.RelResidualStd * t
+	return pred - delta, pred + delta
+}
+
+// PercentErrorAt returns the absolute percentage error of the model's
+// prediction against an observed value at the given point.
+func (m *Model) PercentErrorAt(actual float64, params ...float64) float64 {
+	return mathutil.AbsPercentError(m.Predict(params...), actual)
+}
+
+// ErrTooFewPoints reports insufficient measurement points for modeling.
+var ErrTooFewPoints = measurement.ErrTooFewPoints
+
+// ErrNoHypothesis is returned when every generated hypothesis failed to
+// fit (e.g. degenerate inputs such as all-identical points).
+var ErrNoHypothesis = errors.New("modeling: no fittable hypothesis")
+
+// Fit creates a performance model from measurement points and their
+// aggregated observations. All points must have the same arity; the number
+// of distinct points must be at least Options.MinPoints (default 5).
+func Fit(points []measurement.Point, values []float64, opts Options) (*Model, error) {
+	if len(points) != len(values) {
+		return nil, fmt.Errorf("modeling: %d points but %d values", len(points), len(values))
+	}
+	min := opts.MinPoints
+	if min == 0 {
+		min = measurement.MinModelingPoints
+	}
+	if len(points) < min {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewPoints, len(points), min)
+	}
+	arity := len(points[0])
+	for _, p := range points {
+		if len(p) != arity {
+			return nil, fmt.Errorf("modeling: mixed point arity %d vs %d", len(p), arity)
+		}
+	}
+	if arity == 0 {
+		return nil, errors.New("modeling: zero-arity points")
+	}
+	for _, p := range points {
+		for _, v := range p {
+			if v <= 0 {
+				return nil, fmt.Errorf("modeling: parameter value %v outside PMNF domain (must be > 0)", v)
+			}
+		}
+	}
+	if opts.MaxTerms <= 0 {
+		opts.MaxTerms = 1
+	}
+	if len(opts.PolyExponents) == 0 || len(opts.LogExponents) == 0 {
+		def := DefaultOptions()
+		if len(opts.PolyExponents) == 0 {
+			opts.PolyExponents = def.PolyExponents
+		}
+		if len(opts.LogExponents) == 0 {
+			opts.LogExponents = def.LogExponents
+		}
+	}
+
+	var hyps []hypothesis
+	if arity == 1 {
+		hyps = hypotheses(arity, opts)
+	} else {
+		// Multi-parameter sparse modeling: a full cross product of shape
+		// combinations is quadratic in the (large) shape set and makes
+		// model search orders of magnitude slower. Following Extra-P's
+		// sparse-modeling approach, first evaluate single-parameter
+		// hypotheses, then build combinations only from the best few
+		// shapes per parameter.
+		hyps = sparseHypotheses(arity, points, values, opts)
+	}
+	best, err := selectBest(points, values, hyps, opts)
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// sparseTopShapes is the number of best single-parameter shapes per
+// parameter that enter the combination stage of sparse modeling.
+const sparseTopShapes = 4
+
+// sparseHypotheses implements the two-stage multi-parameter search: rank
+// every single-parameter shape by cross-validated SMAPE, then combine the
+// top shapes of each parameter pair additively, multiplicatively, and in
+// hybrid (term + cross-term) form.
+func sparseHypotheses(arity int, points []measurement.Point, values []float64, opts Options) []hypothesis {
+	shapes := shapeSet(opts)
+
+	// Stage 1: evaluate single-parameter hypotheses.
+	type rated struct {
+		shape pmnf.Factor
+		smape float64
+	}
+	topPerParam := make([][]rated, arity)
+	var out []hypothesis
+	out = append(out, hypothesis{}) // constant
+	for param := 0; param < arity; param++ {
+		// Rank shapes on the axis-aligned line through the grid where all
+		// other parameters sit at their minimum — on the full cross
+		// product the other parameters' effect would drown the shape
+		// signal of this one.
+		linePts, lineVals := axisLine(points, values, param)
+		if len(linePts) < 3 {
+			linePts, lineVals = points, values
+		}
+		var rs []rated
+		for _, s := range shapes {
+			f := s
+			f.Param = param
+			h := hypothesis{terms: []pmnf.Term{{Factors: []pmnf.Factor{f}}}}
+			out = append(out, h)
+			smape, ok := crossValidate(h, linePts, lineVals, opts)
+			if !ok {
+				continue
+			}
+			rs = append(rs, rated{shape: f, smape: smape})
+		}
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].smape < rs[j].smape })
+		if len(rs) > sparseTopShapes {
+			rs = rs[:sparseTopShapes]
+		}
+		topPerParam[param] = rs
+	}
+
+	// Stage 2: combinations of the top shapes per parameter pair.
+	for p1 := 0; p1 < arity; p1++ {
+		for p2 := p1 + 1; p2 < arity; p2++ {
+			for _, r1 := range topPerParam[p1] {
+				for _, r2 := range topPerParam[p2] {
+					f1, f2 := r1.shape, r2.shape
+					out = append(out, hypothesis{terms: []pmnf.Term{
+						{Factors: []pmnf.Factor{f1}},
+						{Factors: []pmnf.Factor{f2}},
+					}})
+					out = append(out, hypothesis{terms: []pmnf.Term{
+						{Factors: []pmnf.Factor{f1, f2}},
+					}})
+					out = append(out, hypothesis{terms: []pmnf.Term{
+						{Factors: []pmnf.Factor{f1}},
+						{Factors: []pmnf.Factor{f1, f2}},
+					}})
+					out = append(out, hypothesis{terms: []pmnf.Term{
+						{Factors: []pmnf.Factor{f2}},
+						{Factors: []pmnf.Factor{f1, f2}},
+					}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// axisLine extracts the subset of points (and their values) where every
+// parameter except `param` is at its data minimum — the cheapest 1-D line
+// through a measurement grid, used to rank single-parameter shapes.
+func axisLine(points []measurement.Point, values []float64, param int) ([]measurement.Point, []float64) {
+	arity := len(points[0])
+	mins := make([]float64, arity)
+	copy(mins, points[0])
+	for _, p := range points {
+		for i, v := range p {
+			if v < mins[i] {
+				mins[i] = v
+			}
+		}
+	}
+	var pts []measurement.Point
+	var vals []float64
+	for i, p := range points {
+		onLine := true
+		for j, v := range p {
+			if j != param && v != mins[j] {
+				onLine = false
+				break
+			}
+		}
+		if onLine {
+			pts = append(pts, p)
+			vals = append(vals, values[i])
+		}
+	}
+	return pts, vals
+}
+
+// shapeSet expands the exponent sets into the factor shapes of the search
+// space (excluding the constant).
+func shapeSet(opts Options) []pmnf.Factor {
+	shapes := make([]pmnf.Factor, 0, len(opts.PolyExponents)*len(opts.LogExponents))
+	for _, i := range opts.PolyExponents {
+		for _, j := range opts.LogExponents {
+			if i == 0 && j == 0 {
+				continue
+			}
+			shapes = append(shapes, pmnf.Factor{PolyExp: i, LogExp: j})
+		}
+	}
+	return shapes
+}
+
+// FitSeries aggregates each sample of the series (median by default, mean
+// with Options.UseMean) and fits a model on the aggregated values.
+func FitSeries(s *measurement.Series, opts Options) (*Model, error) {
+	if s == nil {
+		return nil, errors.New("modeling: nil series")
+	}
+	sorted := *s
+	sorted.Sort()
+	points := sorted.Points()
+	values := make([]float64, len(points))
+	for i, sm := range sorted.Samples {
+		var v float64
+		var ok bool
+		if opts.UseMean {
+			v, ok = sm.Mean()
+		} else {
+			v, ok = sm.Median()
+		}
+		if !ok {
+			return nil, fmt.Errorf("modeling: sample at %s has no repetitions", sm.Point.Key())
+		}
+		values[i] = v
+	}
+	return Fit(points, values, opts)
+}
+
+// hypothesis is a candidate model shape: the basis terms without
+// coefficients. The constant basis is implicit.
+type hypothesis struct {
+	terms []pmnf.Term // coefficients ignored; factors define the basis
+}
+
+// hypotheses generates the single-parameter hypothesis search space: the
+// constant, single terms x^i·log^j for (i,j) ∈ I×J\{(0,0)} and, when
+// MaxTerms ≥ 2, all unordered pairs of distinct shapes. Multi-parameter
+// search spaces are built adaptively by sparseHypotheses.
+func hypotheses(arity int, opts Options) []hypothesis {
+	shapes := shapeSet(opts)
+	var out []hypothesis
+	// The constant-only hypothesis is always a candidate.
+	out = append(out, hypothesis{})
+	_ = arity
+	for _, s := range shapes {
+		out = append(out, hypothesis{terms: []pmnf.Term{{Factors: []pmnf.Factor{s}}}})
+	}
+	if opts.MaxTerms >= 2 {
+		for a := 0; a < len(shapes); a++ {
+			for b := a + 1; b < len(shapes); b++ {
+				out = append(out, hypothesis{terms: []pmnf.Term{
+					{Factors: []pmnf.Factor{shapes[a]}},
+					{Factors: []pmnf.Factor{shapes[b]}},
+				}})
+			}
+		}
+	}
+	return out
+}
+
+// designMatrix builds the regression design matrix for a hypothesis: the
+// first column is the constant basis, followed by one column per term.
+func designMatrix(h hypothesis, points []measurement.Point) [][]float64 {
+	x := make([][]float64, len(points))
+	for r, p := range points {
+		row := make([]float64, 1+len(h.terms))
+		row[0] = 1
+		vals := []float64(p)
+		for c, term := range h.terms {
+			row[c+1] = term.EvalBasis(vals)
+		}
+		x[r] = row
+	}
+	return x
+}
+
+// fitHypothesis fits h's coefficients on (points, values) and returns the
+// resulting function, or an error when the regression is degenerate.
+func fitHypothesis(h hypothesis, points []measurement.Point, values []float64, opts Options) (*pmnf.Function, error) {
+	x := designMatrix(h, points)
+	for _, row := range x {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, errors.New("modeling: basis function undefined at a measurement point")
+			}
+		}
+	}
+	coef, err := mathutil.LeastSquares(x, values)
+	if err != nil {
+		return nil, err
+	}
+	fn := &pmnf.Function{Constant: coef[0]}
+	for i, term := range h.terms {
+		c := coef[i+1]
+		if opts.NonNegativeCoefficients && c < 0 {
+			return nil, errors.New("modeling: negative term coefficient rejected")
+		}
+		fn.Terms = append(fn.Terms, pmnf.Term{Coefficient: c, Factors: term.Factors})
+	}
+	return fn, nil
+}
+
+// crossValidate computes the leave-one-out SMAPE of hypothesis h: for every
+// point the model is refitted without it and asked to predict it.
+func crossValidate(h hypothesis, points []measurement.Point, values []float64, opts Options) (float64, bool) {
+	n := len(points)
+	preds := make([]float64, 0, n)
+	acts := make([]float64, 0, n)
+	subP := make([]measurement.Point, 0, n-1)
+	subV := make([]float64, 0, n-1)
+	for leave := 0; leave < n; leave++ {
+		subP = subP[:0]
+		subV = subV[:0]
+		for i := 0; i < n; i++ {
+			if i == leave {
+				continue
+			}
+			subP = append(subP, points[i])
+			subV = append(subV, values[i])
+		}
+		fn, err := fitHypothesis(h, subP, subV, opts)
+		if err != nil {
+			return 0, false
+		}
+		preds = append(preds, fn.EvalAt(points[leave]))
+		acts = append(acts, values[leave])
+	}
+	s, ok := mathutil.SMAPE(preds, acts)
+	return s, ok
+}
+
+// selectBest evaluates all hypotheses and returns the fitted model with the
+// smallest cross-validated SMAPE (ties broken by fewer terms, then lower
+// RSS).
+func selectBest(points []measurement.Point, values []float64, hyps []hypothesis, opts Options) (*Model, error) {
+	type candidate struct {
+		fn    *pmnf.Function
+		smape float64
+		rss   float64
+		terms int
+	}
+	var cands []candidate
+	for _, h := range hyps {
+		smape, ok := crossValidate(h, points, values, opts)
+		if !ok {
+			continue
+		}
+		fn, err := fitHypothesis(h, points, values, opts)
+		if err != nil {
+			continue
+		}
+		preds := make([]float64, len(points))
+		for i, p := range points {
+			preds[i] = fn.EvalAt(p)
+		}
+		rss, _ := mathutil.RSS(preds, values)
+		cands = append(cands, candidate{fn: fn, smape: smape, rss: rss, terms: len(fn.Terms)})
+	}
+	if len(cands) == 0 {
+		return nil, ErrNoHypothesis
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].smape != cands[j].smape {
+			return cands[i].smape < cands[j].smape
+		}
+		if cands[i].terms != cands[j].terms {
+			return cands[i].terms < cands[j].terms
+		}
+		return cands[i].rss < cands[j].rss
+	})
+	// Occam selection: hypotheses whose cross-validated SMAPE is within
+	// the noise-level tolerance of the minimum are statistically
+	// indistinguishable on the modeling points; among them the
+	// slowest-growing one is preferred — a steep exponent that fits the
+	// noise a hair better would explode under extrapolation, exactly the
+	// failure mode empirical modeling must avoid. Two guard rails:
+	// the pure constant may win only by having the smallest SMAPE
+	// outright (flattening real growth through the tie-break would erase
+	// the scaling signal the tool exists to find), and on noise-free data
+	// the tolerance collapses to (nearly) zero so the best-fitting shape
+	// wins unchanged.
+	threshold := cands[0].smape + math.Max(0.05, 0.5*cands[0].smape)
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.smape > threshold {
+			break // sorted by smape: all following are worse
+		}
+		if len(c.fn.Terms) == 0 {
+			continue // never flatten to the constant via the tie-break
+		}
+		gc, gb := c.fn.Growth(), best.fn.Growth()
+		if cmp := gc.Compare(gb); cmp < 0 || (cmp == 0 && c.terms < best.terms) {
+			best = c
+		}
+	}
+
+	preds := make([]float64, len(points))
+	for i, p := range points {
+		preds[i] = best.fn.EvalAt(p)
+	}
+	r2, okR2 := mathutil.RSquared(preds, values)
+	if !okR2 {
+		r2 = math.NaN()
+	}
+	// Relative residual spread for prediction intervals.
+	var rel []float64
+	for i := range preds {
+		if values[i] != 0 {
+			rel = append(rel, (preds[i]-values[i])/values[i])
+		}
+	}
+	relStd, _ := mathutil.StdDev(rel)
+
+	model := &Model{
+		Function:       best.fn,
+		SMAPE:          best.smape,
+		RSS:            best.rss,
+		R2:             r2,
+		RelResidualStd: relStd,
+		Points:         points,
+		Actual:         append([]float64(nil), values...),
+	}
+	return model, nil
+}

@@ -1,0 +1,211 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// parseSVG checks the output is well-formed XML.
+func parseSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+}
+
+func lineChart() *LineChart {
+	return &LineChart{
+		Title:  "training time per epoch",
+		XLabel: "ranks",
+		YLabel: "seconds",
+		Series: []Series{
+			{
+				Name:    "model",
+				X:       []float64{2, 4, 8, 16, 32, 64},
+				Y:       []float64{90, 95, 100, 105, 110, 115},
+				Lo:      []float64{85, 90, 95, 100, 105, 110},
+				Hi:      []float64{95, 100, 105, 110, 115, 120},
+				Markers: true,
+			},
+			{
+				Name: "measured",
+				X:    []float64{2, 4, 8, 16, 32, 64},
+				Y:    []float64{91, 96, 99, 107, 112, 121},
+			},
+		},
+		LogX: true,
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	for _, want := range []string{"<svg", "polyline", "polygon", "circle", "training time per epoch", "ranks", "seconds"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineChartLegendEntries(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, ">model</text>") || !strings.Contains(svg, ">measured</text>") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &LineChart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := &LineChart{Series: []Series{{Name: "s"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty series accepted")
+	}
+	logBad := &LineChart{LogX: true, Series: []Series{{Name: "s", X: []float64{0}, Y: []float64{1}}}}
+	if _, err := logBad.SVG(); err == nil {
+		t.Error("non-positive x on log axis accepted")
+	}
+}
+
+func TestLineChartDeterministic(t *testing.T) {
+	a, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestLineChartEscapesText(t *testing.T) {
+	c := lineChart()
+	c.Title = `a < b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Contains(svg, `a < b &`) {
+		t.Error("title not escaped")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	c := &BarChart{
+		Title:       "profiling overhead",
+		YLabel:      "seconds",
+		SeriesNames: []string{"standard", "sampled"},
+		Groups: []BarGroup{
+			{Label: "cifar10", Values: []float64{113.8, 3.3}},
+			{Label: "imagenet", Values: []float64{2308, 5.5}},
+			{Label: "imdb", Values: []float64{9.4, 0.7}},
+		},
+		LogY: true,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Count(svg, "<rect") < 7 { // background + 6 bars + legend boxes
+		t.Error("bars missing")
+	}
+	for _, want := range []string{"cifar10", "imagenet", "standard", "sampled"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	bad := &BarChart{SeriesNames: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("value-count mismatch accepted")
+	}
+	logBad := &BarChart{SeriesNames: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{0}}}, LogY: true}
+	if _, err := logBad.SVG(); err == nil {
+		t.Error("zero value on log axis accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	ticks := niceTicks(5, 5, 6)
+	if len(ticks) != 2 {
+		t.Errorf("degenerate ticks = %v", ticks)
+	}
+}
+
+func TestNiceTicksSmallRange(t *testing.T) {
+	ticks := niceTicks(0.93, 1.07, 5)
+	for _, tk := range ticks {
+		if math.IsNaN(tk) {
+			t.Fatal("NaN tick")
+		}
+	}
+	if len(ticks) < 2 {
+		t.Errorf("ticks = %v", ticks)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(100) != "100" {
+		t.Errorf("formatTick(100) = %q", formatTick(100))
+	}
+	if formatTick(0.125) != "0.125" {
+		t.Errorf("formatTick(0.125) = %q", formatTick(0.125))
+	}
+}
+
+func TestXTicksCapped(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 30; i++ {
+		xs = append(xs, float64(i))
+	}
+	s := []Series{{X: xs, Y: xs}}
+	ticks := xTicks(s, false, 1, 30)
+	if len(ticks) > 14 {
+		t.Errorf("too many ticks: %d", len(ticks))
+	}
+}

@@ -1,0 +1,326 @@
+package pmnf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFactorEvalPolynomial(t *testing.T) {
+	f := Factor{PolyExp: 2}
+	if got := f.Eval(3); got != 9 {
+		t.Errorf("x² at 3 = %v, want 9", got)
+	}
+}
+
+func TestFactorEvalLog(t *testing.T) {
+	f := Factor{LogExp: 2}
+	if got := f.Eval(8); got != 9 {
+		t.Errorf("log²(8) = %v, want 9", got)
+	}
+}
+
+func TestFactorEvalMixed(t *testing.T) {
+	f := Factor{PolyExp: 1, LogExp: 1}
+	if got := f.Eval(4); got != 8 {
+		t.Errorf("x·log(x) at 4 = %v, want 8", got)
+	}
+}
+
+func TestFactorEvalFractional(t *testing.T) {
+	f := Factor{PolyExp: 2.0 / 3.0}
+	if got := f.Eval(8); !approx(got, 4, 1e-9) {
+		t.Errorf("x^(2/3) at 8 = %v, want 4", got)
+	}
+}
+
+func TestFactorEvalConstant(t *testing.T) {
+	f := Factor{}
+	if got := f.Eval(123); got != 1 {
+		t.Errorf("constant factor = %v, want 1", got)
+	}
+	if !f.IsConstant() {
+		t.Error("IsConstant false for empty factor")
+	}
+}
+
+func TestFactorDomain(t *testing.T) {
+	f := Factor{LogExp: 1}
+	if !math.IsNaN(f.Eval(0)) {
+		t.Error("log factor at 0 should be NaN")
+	}
+	if !math.IsNaN(f.Eval(-2)) {
+		t.Error("log factor at -2 should be NaN")
+	}
+}
+
+func TestFactorRender(t *testing.T) {
+	cases := []struct {
+		f    Factor
+		want string
+	}{
+		{Factor{}, "1"},
+		{Factor{PolyExp: 1}, "p"},
+		{Factor{PolyExp: 2}, "p^2"},
+		{Factor{PolyExp: 2.0 / 3.0}, "p^(2/3)"},
+		{Factor{PolyExp: 0.25}, "p^(1/4)"},
+		{Factor{LogExp: 1}, "log2(p)"},
+		{Factor{LogExp: 2}, "log2(p)^2"},
+		{Factor{PolyExp: 1.5, LogExp: 1}, "p^(3/2)*log2(p)"},
+	}
+	for _, c := range cases {
+		if got := c.f.Render("p"); got != c.want {
+			t.Errorf("Render(%+v) = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestTermEval(t *testing.T) {
+	term := Term{Coefficient: 2, Factors: []Factor{{Param: 0, PolyExp: 1}, {Param: 1, LogExp: 1}}}
+	// 2 · x1 · log2(x2) at (3, 4) = 2·3·2 = 12
+	if got := term.Eval([]float64{3, 4}); got != 12 {
+		t.Errorf("term = %v, want 12", got)
+	}
+}
+
+func TestTermEvalBasisExcludesCoefficient(t *testing.T) {
+	term := Term{Coefficient: 5, Factors: []Factor{{Param: 0, PolyExp: 2}}}
+	if got := term.EvalBasis([]float64{3}); got != 9 {
+		t.Errorf("basis = %v, want 9", got)
+	}
+}
+
+func TestTermEvalOutOfRangeParam(t *testing.T) {
+	term := Term{Coefficient: 1, Factors: []Factor{{Param: 3, PolyExp: 1}}}
+	if got := term.Eval([]float64{1}); !math.IsNaN(got) {
+		t.Errorf("out-of-range param = %v, want NaN", got)
+	}
+}
+
+func TestFunctionEvalCaseStudyModel(t *testing.T) {
+	// The paper's case-study model: T(x) = 158.58 + 0.58·x^(2/3)·log2(x)².
+	fn := &Function{
+		Constant: 158.58,
+		Terms: []Term{{
+			Coefficient: 0.58,
+			Factors:     []Factor{{Param: 0, PolyExp: 2.0 / 3.0, LogExp: 2}},
+		}},
+	}
+	// At x=40 the paper reports ≈352.37 s.
+	got := fn.Eval(40)
+	// (the paper rounds the printed coefficients, so allow ±2 s)
+	if !approx(got, 352.37, 2.0) {
+		t.Errorf("T(40) = %v, want ≈352.37", got)
+	}
+}
+
+func TestFunctionString(t *testing.T) {
+	fn := &Function{
+		Constant:   158.58,
+		ParamNames: []string{"p"},
+		Terms: []Term{{
+			Coefficient: 0.58,
+			Factors:     []Factor{{Param: 0, PolyExp: 2.0 / 3.0, LogExp: 2}},
+		}},
+	}
+	want := "158.6 + 0.58*p^(2/3)*log2(p)^2"
+	if got := fn.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFunctionStringNegativeTerm(t *testing.T) {
+	fn := &Function{
+		Constant: 10,
+		Terms:    []Term{{Coefficient: -2, Factors: []Factor{{Param: 0, PolyExp: 1}}}},
+	}
+	want := "10 - 2*x1"
+	if got := fn.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestConstantFunction(t *testing.T) {
+	fn := ConstantFunction(7)
+	if got := fn.Eval(99, 3); got != 7 {
+		t.Errorf("constant fn = %v, want 7", got)
+	}
+	if g := fn.Growth(); g.PolyDegree != 0 || g.LogDegree != 0 {
+		t.Errorf("constant growth = %v, want O(1)", g)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	fn := &Function{Terms: []Term{{Coefficient: 1, Factors: []Factor{{Param: 2, PolyExp: 1}}}}}
+	if got := fn.NumParams(); got != 3 {
+		t.Errorf("NumParams = %d, want 3", got)
+	}
+}
+
+func TestGrowthCompare(t *testing.T) {
+	cases := []struct {
+		a, b Growth
+		want int
+	}{
+		{Growth{1, 0}, Growth{2, 0}, -1},
+		{Growth{2, 0}, Growth{1, 0}, 1},
+		{Growth{1, 0}, Growth{1, 1}, -1},
+		{Growth{1, 1}, Growth{1, 1}, 0},
+		{Growth{0, 1}, Growth{0.5, 0}, -1}, // log grows slower than any root
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGrowthString(t *testing.T) {
+	cases := []struct {
+		g    Growth
+		want string
+	}{
+		{Growth{}, "O(1)"},
+		{Growth{1, 0}, "O(x)"},
+		{Growth{2, 1}, "O(x^2*log2(x))"},
+		{Growth{0, 2}, "O(log2(x)^2)"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("Growth%v.String = %q, want %q", c.g, got, c.want)
+		}
+	}
+}
+
+func TestFunctionGrowthDominantTerm(t *testing.T) {
+	fn := &Function{
+		Constant: 5,
+		Terms: []Term{
+			{Coefficient: 100, Factors: []Factor{{Param: 0, PolyExp: 1}}},
+			{Coefficient: 0.001, Factors: []Factor{{Param: 0, PolyExp: 2, LogExp: 1}}},
+		},
+	}
+	g := fn.Growth()
+	if g.PolyDegree != 2 || g.LogDegree != 1 {
+		t.Errorf("growth = %v, want {2 1}", g)
+	}
+}
+
+func TestFunctionGrowthIgnoresZeroCoefficients(t *testing.T) {
+	fn := &Function{
+		Terms: []Term{
+			{Coefficient: 0, Factors: []Factor{{Param: 0, PolyExp: 3}}},
+			{Coefficient: 1, Factors: []Factor{{Param: 0, PolyExp: 1}}},
+		},
+	}
+	if g := fn.Growth(); g.PolyDegree != 1 {
+		t.Errorf("growth = %v, want poly degree 1", g)
+	}
+}
+
+func TestFunctionGrowthMultiParam(t *testing.T) {
+	fn := &Function{
+		Terms: []Term{{
+			Coefficient: 1,
+			Factors:     []Factor{{Param: 0, PolyExp: 1}, {Param: 1, PolyExp: 0.5, LogExp: 1}},
+		}},
+	}
+	g := fn.Growth()
+	if !approx(g.PolyDegree, 1.5, 1e-12) || g.LogDegree != 1 {
+		t.Errorf("growth = %v, want {1.5 1}", g)
+	}
+}
+
+func TestSortByGrowth(t *testing.T) {
+	constant := ConstantFunction(1e9)
+	linear := &Function{Terms: []Term{{Coefficient: 1, Factors: []Factor{{Param: 0, PolyExp: 1}}}}}
+	quadratic := &Function{Terms: []Term{{Coefficient: 1e-6, Factors: []Factor{{Param: 0, PolyExp: 2}}}}}
+	order := SortByGrowth([]*Function{constant, linear, quadratic}, []float64{64})
+	// Fastest growth first: quadratic, linear, constant — despite the huge
+	// constant coefficient.
+	want := []int{2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSortByGrowthTieBreakByValue(t *testing.T) {
+	cheap := &Function{Terms: []Term{{Coefficient: 1, Factors: []Factor{{Param: 0, PolyExp: 1}}}}}
+	costly := &Function{Terms: []Term{{Coefficient: 50, Factors: []Factor{{Param: 0, PolyExp: 1}}}}}
+	order := SortByGrowth([]*Function{cheap, costly}, []float64{10})
+	if order[0] != 1 {
+		t.Errorf("order = %v, want the costly O(x) kernel first", order)
+	}
+}
+
+// Property: Eval is linear in the coefficients — scaling every coefficient
+// (and the constant) by s scales the result by s.
+func TestFunctionLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		fn := randomFunction(rng)
+		x := 1 + rng.Float64()*100
+		s := rng.NormFloat64()
+		scaled := &Function{Constant: fn.Constant * s}
+		for _, term := range fn.Terms {
+			nt := term
+			nt.Coefficient *= s
+			scaled.Terms = append(scaled.Terms, nt)
+		}
+		a, b := fn.Eval(x)*s, scaled.Eval(x)
+		if !approx(a, b, 1e-6*(1+math.Abs(a))) {
+			t.Fatalf("linearity violated: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: PMNF functions with non-negative coefficients are monotone
+// non-decreasing on x ≥ 1.
+func TestFunctionMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		fn := randomFunction(rng)
+		for i := range fn.Terms {
+			fn.Terms[i].Coefficient = math.Abs(fn.Terms[i].Coefficient)
+		}
+		x1 := 1 + rng.Float64()*50
+		x2 := x1 + rng.Float64()*50
+		if fn.Eval(x1) > fn.Eval(x2)+1e-9 {
+			t.Fatalf("non-monotone: f(%v)=%v > f(%v)=%v for %s",
+				x1, fn.Eval(x1), x2, fn.Eval(x2), fn)
+		}
+	}
+}
+
+func randomFunction(rng *rand.Rand) *Function {
+	exps := []float64{0, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.75, 1, 1.25, 1.5, 2}
+	fn := &Function{Constant: rng.NormFloat64() * 10}
+	n := 1 + rng.Intn(2)
+	for k := 0; k < n; k++ {
+		fn.Terms = append(fn.Terms, Term{
+			Coefficient: rng.NormFloat64() * 5,
+			Factors: []Factor{{
+				Param:   0,
+				PolyExp: exps[rng.Intn(len(exps))],
+				LogExp:  rng.Intn(3),
+			}},
+		})
+	}
+	return fn
+}
+
+func TestFactorRenderQuickNoPanic(t *testing.T) {
+	f := func(poly float64, logExp uint8) bool {
+		fac := Factor{PolyExp: poly, LogExp: int(logExp % 4)}
+		_ = fac.Render("x")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

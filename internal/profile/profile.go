@@ -1,0 +1,188 @@
+// Package profile defines the on-disk profile format of Extra-Deep: one
+// JSON file per (application configuration, MPI rank, repetition), named
+// after the paper's Fig. 1 convention, e.g. "cifar10.x4.mpi0.r1.json".
+// A Store reads and writes directories of such profiles and groups them
+// for the aggregation pipeline.
+package profile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"extradeep/internal/measurement"
+	"extradeep/internal/trace"
+)
+
+// Profile is the complete profiling output of one rank of one run.
+type Profile struct {
+	// App is the benchmark/application name, e.g. "cifar10".
+	App string `json:"app"`
+	// Params are the execution-parameter names, e.g. ["p"].
+	Params []string `json:"params"`
+	// Config are the parameter values of this application configuration.
+	Config []float64 `json:"config"`
+	// Rank is the MPI rank this profile belongs to.
+	Rank int `json:"rank"`
+	// Rep is the 1-based repetition index of the measurement.
+	Rep int `json:"rep"`
+	// WallTime is the total wall-clock time of the (possibly sampled)
+	// profiled run in seconds, used to quantify profiling overhead.
+	WallTime float64 `json:"wall_time"`
+	// Sampled records whether the efficient sampling strategy was used
+	// (only a few steps profiled) or the full run was profiled.
+	Sampled bool `json:"sampled"`
+	// Trace is the recorded event stream.
+	Trace trace.Trace `json:"trace"`
+}
+
+// Point returns the profile's application configuration as a measurement
+// point.
+func (p *Profile) Point() measurement.Point { return measurement.Point(p.Config).Clone() }
+
+// Validate checks the profile's structural integrity.
+func (p *Profile) Validate() error {
+	if p.App == "" {
+		return errors.New("profile: empty application name")
+	}
+	if len(p.Params) != len(p.Config) {
+		return fmt.Errorf("profile: %d parameter names for %d values", len(p.Params), len(p.Config))
+	}
+	if p.Rank < 0 {
+		return fmt.Errorf("profile: negative rank %d", p.Rank)
+	}
+	if p.Rep < 1 {
+		return fmt.Errorf("profile: repetition index %d (must be ≥ 1)", p.Rep)
+	}
+	return p.Trace.Validate()
+}
+
+// FileName returns the canonical profile file name, e.g.
+// "cifar10.x4.mpi0.r1.json"; multi-parameter configurations join values
+// with underscores: "cifar10.x4_256.mpi0.r1.json".
+func FileName(app string, config []float64, rank, rep int) string {
+	vals := make([]string, len(config))
+	for i, v := range config {
+		vals[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return fmt.Sprintf("%s.x%s.mpi%d.r%d.json", app, strings.Join(vals, "_"), rank, rep)
+}
+
+// FileName returns the profile's canonical file name.
+func (p *Profile) FileName() string { return FileName(p.App, p.Config, p.Rank, p.Rep) }
+
+// Store reads and writes profiles in a directory.
+type Store struct {
+	// Dir is the directory holding the profile files.
+	Dir string
+}
+
+// Write serializes the profile into the store's directory, creating the
+// directory if needed.
+func (s *Store) Write(p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("profile: creating store dir: %w", err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("profile: encoding %s: %w", p.FileName(), err)
+	}
+	path := filepath.Join(s.Dir, p.FileName())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("profile: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read loads a single profile file.
+func Read(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: reading %s: %w", path, err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: decoding %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// ReadAll loads every .json profile in the store's directory, sorted by
+// file name for deterministic processing.
+func (s *Store) ReadAll() ([]*Profile, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("profile: listing %s: %w", s.Dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	profiles := make([]*Profile, 0, len(names))
+	for _, name := range names {
+		p, err := Read(filepath.Join(s.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
+}
+
+// ConfigKey identifies one application configuration of one app.
+type ConfigKey struct {
+	App string
+	// Point is the canonical key of the configuration's parameter values.
+	Point string
+}
+
+// GroupByConfig groups profiles by (app, configuration); within each group
+// the profiles are ordered by (repetition, rank). This is the input shape
+// the aggregation pipeline expects: all ranks and repetitions of one
+// measurement point together.
+func GroupByConfig(profiles []*Profile) map[ConfigKey][]*Profile {
+	groups := make(map[ConfigKey][]*Profile)
+	for _, p := range profiles {
+		key := ConfigKey{App: p.App, Point: measurement.Point(p.Config).Key()}
+		groups[key] = append(groups[key], p)
+	}
+	for _, g := range groups {
+		sort.SliceStable(g, func(i, j int) bool {
+			if g[i].Rep != g[j].Rep {
+				return g[i].Rep < g[j].Rep
+			}
+			return g[i].Rank < g[j].Rank
+		})
+	}
+	return groups
+}
+
+// SortedKeys returns the group keys sorted by app name, then by point key,
+// for deterministic iteration over GroupByConfig results.
+func SortedKeys(groups map[ConfigKey][]*Profile) []ConfigKey {
+	keys := make([]ConfigKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].App != keys[j].App {
+			return keys[i].App < keys[j].App
+		}
+		return keys[i].Point < keys[j].Point
+	})
+	return keys
+}

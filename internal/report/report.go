@@ -1,0 +1,103 @@
+// Package report assembles experiment outputs — monospace result tables
+// and inline SVG figures — into a single self-contained HTML document, the
+// shareable artifact of a reproduction run.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+	"time"
+)
+
+// Section is one experiment's contribution to the report.
+type Section struct {
+	// Title heads the section.
+	Title string
+	// Text is preformatted (monospace) content, e.g. a result table.
+	Text string
+	// SVGs are inline figures, already rendered.
+	SVGs []string
+	// Elapsed optionally records the generation time.
+	Elapsed time.Duration
+}
+
+// Report is a collection of sections with a title page.
+type Report struct {
+	// Title heads the document.
+	Title string
+	// Subtitle appears under the title.
+	Subtitle string
+	// Sections are rendered in order.
+	Sections []Section
+}
+
+// Add appends a section.
+func (r *Report) Add(s Section) { r.Sections = append(r.Sections, s) }
+
+var pageTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; padding: 0 1rem; color: #1a1a1a; }
+h1 { font-size: 1.6rem; border-bottom: 2px solid #0072b2; padding-bottom: .4rem; }
+h2 { font-size: 1.2rem; margin-top: 2.2rem; color: #0072b2; }
+pre { background: #f6f8fa; border: 1px solid #e1e4e8; border-radius: 6px; padding: 1rem; overflow-x: auto; font-size: .82rem; line-height: 1.35; }
+.subtitle { color: #555; margin-top: -0.6rem; }
+.elapsed { color: #888; font-size: .8rem; }
+figure { margin: 1rem 0; text-align: center; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Subtitle}}<p class="subtitle">{{.Subtitle}}</p>{{end}}
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .Text}}<pre>{{.Text}}</pre>{{end}}
+{{range .SVGs}}<figure>{{.}}</figure>{{end}}
+{{if .ElapsedString}}<p class="elapsed">generated in {{.ElapsedString}}</p>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// templateSection is the template-facing view of a Section with the SVG
+// bodies marked as trusted HTML (they are produced by our own renderer).
+type templateSection struct {
+	Title         string
+	Text          string
+	SVGs          []template.HTML
+	ElapsedString string
+}
+
+// templateReport mirrors Report for the template.
+type templateReport struct {
+	Title    string
+	Subtitle string
+	Sections []templateSection
+}
+
+// HTML renders the report document.
+func (r *Report) HTML() (string, error) {
+	tr := templateReport{Title: r.Title, Subtitle: r.Subtitle}
+	for _, s := range r.Sections {
+		ts := templateSection{Title: s.Title, Text: s.Text}
+		for _, svg := range s.SVGs {
+			if !strings.HasPrefix(strings.TrimSpace(svg), "<svg") {
+				return "", fmt.Errorf("report: section %q contains a non-SVG figure", s.Title)
+			}
+			ts.SVGs = append(ts.SVGs, template.HTML(svg))
+		}
+		if s.Elapsed > 0 {
+			ts.ElapsedString = s.Elapsed.Round(time.Millisecond).String()
+		}
+		tr.Sections = append(tr.Sections, ts)
+	}
+	var b strings.Builder
+	if err := pageTemplate.Execute(&b, tr); err != nil {
+		return "", fmt.Errorf("report: rendering: %w", err)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTMLBasicStructure(t *testing.T) {
+	r := &Report{Title: "Extra-Deep reproduction", Subtitle: "seed 7"}
+	r.Add(Section{
+		Title:   "Figure 8",
+		Text:    "benchmark  savings\ncifar10    97.1%",
+		SVGs:    []string{`<svg xmlns="http://www.w3.org/2000/svg"><rect/></svg>`},
+		Elapsed: 1234 * time.Millisecond,
+	})
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Extra-Deep reproduction",
+		"seed 7",
+		"<h2>Figure 8</h2>",
+		"cifar10    97.1%",
+		"<svg xmlns",
+		"1.234s",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesText(t *testing.T) {
+	r := &Report{Title: "t"}
+	r.Add(Section{Title: "x", Text: `<script>alert(1)</script>`})
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<script>alert") {
+		t.Error("text not escaped")
+	}
+	if !strings.Contains(html, "&lt;script&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestHTMLSVGPassedThrough(t *testing.T) {
+	r := &Report{Title: "t"}
+	r.Add(Section{Title: "fig", SVGs: []string{`<svg><circle r="3"/></svg>`}})
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, `<circle r="3"/>`) {
+		t.Error("SVG was escaped instead of embedded")
+	}
+}
+
+func TestHTMLRejectsNonSVGFigure(t *testing.T) {
+	r := &Report{Title: "t"}
+	r.Add(Section{Title: "fig", SVGs: []string{`<img src=x onerror=alert(1)>`}})
+	if _, err := r.HTML(); err == nil {
+		t.Error("non-SVG figure accepted")
+	}
+}
+
+func TestHTMLEmptyReport(t *testing.T) {
+	r := &Report{Title: "empty"}
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestHTMLSectionOrder(t *testing.T) {
+	r := &Report{Title: "t"}
+	r.Add(Section{Title: "first"})
+	r.Add(Section{Title: "second"})
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Index(html, "first") > strings.Index(html, "second") {
+		t.Error("sections out of order")
+	}
+}

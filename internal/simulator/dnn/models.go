@@ -1,0 +1,236 @@
+package dnn
+
+import "fmt"
+
+// ResNet50 builds a ResNet-50 (He et al.) for the given input shape and
+// class count. For ImageNet-sized inputs the standard 7×7/2 stem plus
+// 3×3/2 max-pool is used; for small inputs (CIFAR) the common 3×3/1 stem
+// without pooling. With 1000 classes and 224×224×3 input the parameter
+// count is the canonical ≈25.6 M.
+func ResNet50(inputH, inputW, inputC, classes int) *Model {
+	m := &Model{Name: "resnet50", InputH: inputH, InputW: inputW, InputC: inputC}
+	h, w, c := inputH, inputW, inputC
+
+	big := inputH >= 64
+	if big {
+		m.add(conv2D("conv1", h, w, c, 64, 7, 2, false))
+	} else {
+		m.add(conv2D("conv1", h, w, c, 64, 3, 1, false))
+	}
+	h, w, c = m.last().OutH, m.last().OutW, 64
+	m.add(batchNorm("conv1_bn", h, w, c))
+	m.add(activation("conv1_relu", ReLU, h, w, c))
+	if big {
+		m.add(pool("pool1", MaxPool, h, w, c, 3, 2))
+		h, w = m.last().OutH, m.last().OutW
+	}
+
+	stages := []struct {
+		mid, blocks, stride int
+	}{
+		{64, 3, 1},
+		{128, 4, 2},
+		{256, 6, 2},
+		{512, 3, 2},
+	}
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			h, w, c = m.bottleneck(fmt.Sprintf("res%d_%d", si+2, b), h, w, c, st.mid, stride)
+		}
+	}
+
+	m.add(globalAvgPool("avg_pool", h, w, c))
+	m.add(dense("fc", c, classes, true))
+	m.add(softmax("softmax", classes))
+	return m
+}
+
+// bottleneck appends one ResNet bottleneck block (1×1 reduce, 3×3, 1×1
+// expand ×4, projection shortcut when shape changes) and returns the new
+// tensor shape.
+func (m *Model) bottleneck(name string, h, w, inC, midC, stride int) (int, int, int) {
+	outC := 4 * midC
+
+	m.add(conv2D(name+"_conv1", h, w, inC, midC, 1, 1, false))
+	m.add(batchNorm(name+"_bn1", h, w, midC))
+	m.add(activation(name+"_relu1", ReLU, h, w, midC))
+
+	m.add(conv2D(name+"_conv2", h, w, midC, midC, 3, stride, false))
+	h2, w2 := m.last().OutH, m.last().OutW
+	m.add(batchNorm(name+"_bn2", h2, w2, midC))
+	m.add(activation(name+"_relu2", ReLU, h2, w2, midC))
+
+	m.add(conv2D(name+"_conv3", h2, w2, midC, outC, 1, 1, false))
+	m.add(batchNorm(name+"_bn3", h2, w2, outC))
+
+	if stride != 1 || inC != outC {
+		m.add(conv2D(name+"_proj", h, w, inC, outC, 1, stride, false))
+		m.add(batchNorm(name+"_proj_bn", h2, w2, outC))
+	}
+	m.add(residualAdd(name+"_add", h2, w2, outC))
+	m.add(activation(name+"_relu3", ReLU, h2, w2, outC))
+	return h2, w2, outC
+}
+
+// EfficientNetB0 builds an EfficientNet-B0 (Tan & Le) for the given input
+// shape and class count. With 1000 classes and 224×224×3 input the
+// parameter count is the canonical ≈5.3 M.
+func EfficientNetB0(inputH, inputW, inputC, classes int) *Model {
+	m := &Model{Name: "efficientnet_b0", InputH: inputH, InputW: inputW, InputC: inputC}
+	h, w := inputH, inputW
+
+	m.add(conv2D("stem_conv", h, w, inputC, 32, 3, 2, false))
+	h, w = m.last().OutH, m.last().OutW
+	c := 32
+	m.add(batchNorm("stem_bn", h, w, c))
+	m.add(activation("stem_swish", Swish, h, w, c))
+
+	blocks := []struct {
+		expand, outC, repeats, stride, kernel int
+	}{
+		{1, 16, 1, 1, 3},
+		{6, 24, 2, 2, 3},
+		{6, 40, 2, 2, 5},
+		{6, 80, 3, 2, 3},
+		{6, 112, 3, 1, 5},
+		{6, 192, 4, 2, 5},
+		{6, 320, 1, 1, 3},
+	}
+	for bi, blk := range blocks {
+		for r := 0; r < blk.repeats; r++ {
+			stride := 1
+			if r == 0 {
+				stride = blk.stride
+			}
+			h, w, c = m.mbconv(fmt.Sprintf("block%d_%d", bi+1, r), h, w, c, blk.outC, blk.expand, blk.kernel, stride)
+		}
+	}
+
+	m.add(conv2D("head_conv", h, w, c, 1280, 1, 1, false))
+	c = 1280
+	m.add(batchNorm("head_bn", h, w, c))
+	m.add(activation("head_swish", Swish, h, w, c))
+	m.add(globalAvgPool("head_pool", h, w, c))
+	m.add(Layer{Name: "head_dropout", Type: Dropout, OutH: 1, OutW: 1, OutC: c})
+	m.add(dense("fc", c, classes, true))
+	m.add(softmax("softmax", classes))
+	return m
+}
+
+// mbconv appends one mobile inverted-bottleneck block with squeeze-and-
+// excitation and returns the new tensor shape. The SE bottleneck width is
+// derived from the block's input channels (ratio 0.25), per the reference
+// implementation.
+func (m *Model) mbconv(name string, h, w, inC, outC, expand, kernel, stride int) (int, int, int) {
+	c := inC
+	if expand != 1 {
+		c = inC * expand
+		m.add(conv2D(name+"_expand", h, w, inC, c, 1, 1, false))
+		m.add(batchNorm(name+"_expand_bn", h, w, c))
+		m.add(activation(name+"_expand_swish", Swish, h, w, c))
+	}
+	m.add(dwConv2D(name+"_dwconv", h, w, c, kernel, stride))
+	h2, w2 := m.last().OutH, m.last().OutW
+	m.add(batchNorm(name+"_dw_bn", h2, w2, c))
+	m.add(activation(name+"_dw_swish", Swish, h2, w2, c))
+
+	reduced := inC / 4
+	if reduced < 1 {
+		reduced = 1
+	}
+	m.add(squeezeExcite(name+"_se", h2, w2, c, reduced))
+
+	m.add(conv2D(name+"_project", h2, w2, c, outC, 1, 1, false))
+	m.add(batchNorm(name+"_project_bn", h2, w2, outC))
+
+	if stride == 1 && inC == outC {
+		m.add(residualAdd(name+"_add", h2, w2, outC))
+	}
+	return h2, w2, outC
+}
+
+// CNN10 builds the paper's ten-hidden-layer CNN for Speech Commands
+// spectrogram input: eight 3×3 convolution layers in three pooled stages
+// (the first convolution downsamples the spectrogram with stride 2, as is
+// customary for keyword-spotting CNNs) followed by two dense layers, then
+// the classifier.
+func CNN10(inputH, inputW, inputC, classes int) *Model {
+	m := &Model{Name: "cnn10", InputH: inputH, InputW: inputW, InputC: inputC}
+	h, w, c := inputH, inputW, inputC
+
+	widths := []int{32, 64, 128}
+	for si, width := range widths {
+		for b := 0; b < 3; b++ {
+			// Three stages of 3/3/2 conv layers = 8 conv layers.
+			if si == 2 && b == 2 {
+				break
+			}
+			stride := 1
+			if si == 0 && b == 0 {
+				stride = 2
+			}
+			m.add(conv2D(fmt.Sprintf("conv%d_%d", si+1, b+1), h, w, c, width, 3, stride, true))
+			h, w = m.last().OutH, m.last().OutW
+			c = width
+			m.add(activation(fmt.Sprintf("relu%d_%d", si+1, b+1), ReLU, h, w, c))
+		}
+		m.add(pool(fmt.Sprintf("pool%d", si+1), MaxPool, h, w, c, 2, 2))
+		h, w = m.last().OutH, m.last().OutW
+	}
+
+	m.add(Layer{Name: "flatten", Type: Flatten, OutH: 1, OutW: 1, OutC: h * w * c})
+	in := h * w * c
+	m.add(dense("dense1", in, 256, true))
+	m.add(activation("dense1_relu", ReLU, 1, 1, 256))
+	m.add(dense("dense2", 256, 128, true))
+	m.add(activation("dense2_relu", ReLU, 1, 1, 128))
+	m.add(dense("fc", 128, classes, true))
+	m.add(softmax("softmax", classes))
+	return m
+}
+
+// NNLM builds the neural-network language model used for the IMDB
+// benchmark: a token embedding averaged over the sequence, followed by two
+// hidden dense layers and the binary classifier.
+func NNLM(seqLen, vocab, classes int) *Model {
+	const dim = 128
+	m := &Model{Name: "nnlm", InputH: seqLen, InputW: 1, InputC: 1}
+	m.add(embedding("embedding", vocab, dim, seqLen))
+	m.add(globalAvgPool("seq_pool", seqLen, 1, dim))
+	m.add(dense("dense1", dim, 256, true))
+	m.add(activation("dense1_relu", ReLU, 1, 1, 256))
+	m.add(Layer{Name: "dropout1", Type: Dropout, OutH: 1, OutW: 1, OutC: 256})
+	m.add(dense("dense2", 256, 64, true))
+	m.add(activation("dense2_relu", ReLU, 1, 1, 64))
+	m.add(dense("fc", 64, classes, true))
+	m.add(softmax("softmax", classes))
+	return m
+}
+
+// add appends a layer.
+func (m *Model) add(l Layer) { m.Layers = append(m.Layers, l) }
+
+// last returns the most recently added layer.
+func (m *Model) last() Layer { return m.Layers[len(m.Layers)-1] }
+
+// ForBenchmark returns the architecture the paper pairs with each dataset:
+// ResNet-50 for CIFAR-10/100, EfficientNet-B0 for ImageNet, the NNLM for
+// IMDB and the ten-layer CNN for Speech Commands.
+func ForBenchmark(datasetName string, inputH, inputW, inputC, classes int) (*Model, error) {
+	switch datasetName {
+	case "cifar10", "cifar100":
+		return ResNet50(inputH, inputW, inputC, classes), nil
+	case "imagenet":
+		return EfficientNetB0(inputH, inputW, inputC, classes), nil
+	case "imdb":
+		return NNLM(inputH, inputW, classes), nil
+	case "speechcommands":
+		return CNN10(inputH, inputW, inputC, classes), nil
+	default:
+		return nil, fmt.Errorf("dnn: no architecture mapped to dataset %q", datasetName)
+	}
+}

@@ -1,0 +1,693 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"extradeep/internal/calltree"
+	"extradeep/internal/profile"
+	"extradeep/internal/simulator/dataset"
+	"extradeep/internal/simulator/dnn"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/network"
+	"extradeep/internal/simulator/noise"
+	"extradeep/internal/simulator/parallel"
+	"extradeep/internal/trace"
+)
+
+// Granularity selects how compute kernels are reported in the trace.
+type Granularity int
+
+const (
+	// GranularityType coalesces the kernels of one layer type and
+	// direction into a single event per step carrying the invocation
+	// count — compact traces for large parameter sweeps.
+	GranularityType Granularity = iota
+	// GranularityLayer emits one event per layer and direction, yielding
+	// the kernel-rich traces of the case study.
+	GranularityLayer
+)
+
+// RunConfig describes one simulated application configuration.
+type RunConfig struct {
+	// System is the cluster the run executes on.
+	System hardware.System
+	// Strategy is the parallelization strategy.
+	Strategy parallel.Strategy
+	// Ranks is the number of MPI ranks (one GPU each).
+	Ranks int
+	// WeakScaling multiplies the training set by the rank count.
+	WeakScaling bool
+	// Granularity selects the trace detail level.
+	Granularity Granularity
+	// Noise calibrates the system-noise processes; the zero value derives
+	// the calibration from the system name.
+	Noise noise.Params
+	// Seed is the base random seed; all derived randomness is
+	// deterministic in (Seed, benchmark, ranks, repetition, rank).
+	Seed int64
+	// SampleRanks bounds how many representative ranks produce traces
+	// (0 = all ranks). Aggregation medians over a handful of ranks are
+	// statistically equivalent and keep large sweeps tractable.
+	SampleRanks int
+	// ProfileSteps is the number of training steps profiled per epoch
+	// under the efficient sampling strategy (default 5, per the paper).
+	ProfileSteps int
+	// ProfileEpochs is the number of profiled epochs (default 2; the
+	// first acts as warm-up and is discarded by aggregation).
+	ProfileEpochs int
+	// OverheadFactor is the profiling overhead as a fraction of executed
+	// time (default 0.052 ≈ the paper's 5.4% average).
+	OverheadFactor float64
+	// ProfileParams and ProfilePoint optionally override the identity a
+	// profile is recorded under, for multi-parameter campaigns (e.g.
+	// Params ["p","b"], Point [ranks, batch]). When unset, profiles are
+	// identified by the rank count alone (["p"], [Ranks]).
+	ProfileParams []string
+	ProfilePoint  []float64
+}
+
+func (c RunConfig) noiseParams(b Benchmark) noise.Params {
+	p := c.Noise
+	if p == (noise.Params{}) {
+		if c.System.Name == "JURECA" {
+			p = noise.JURECAParams()
+		} else {
+			p = noise.DEEPParams()
+		}
+	}
+	// Training complexity amplifies measurement variance: bigger models
+	// and datasets stress memory, I/O and the fabric harder, which is why
+	// the paper finds ImageNet hardest and IMDB easiest to predict
+	// (Section 4.2.3). Scale the run/step components by a factor derived
+	// from the per-epoch training FLOPs.
+	f := complexityFactor(b)
+	p.RunSigma0 *= f
+	p.RunSigmaPerLog *= f
+	p.StepSigma *= f
+	return p
+}
+
+// complexityFactor maps a benchmark's per-epoch training cost to a noise
+// multiplier in [0.7, 2].
+func complexityFactor(b Benchmark) float64 {
+	epochFLOPs := b.Model.TrainFLOPs() * float64(b.Dataset.TrainSamples)
+	f := 0.7 + 0.08*math.Log2(epochFLOPs/1e12)
+	if f < 0.7 {
+		f = 0.7
+	}
+	if f > 2 {
+		f = 2
+	}
+	return f
+}
+
+func (c RunConfig) profileSteps() int {
+	if c.ProfileSteps <= 0 {
+		return 5
+	}
+	return c.ProfileSteps
+}
+
+func (c RunConfig) profileEpochs() int {
+	if c.ProfileEpochs <= 0 {
+		return 2
+	}
+	return c.ProfileEpochs
+}
+
+func (c RunConfig) overheadFactor() float64 {
+	if c.OverheadFactor <= 0 {
+		return 0.052
+	}
+	return c.OverheadFactor
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if err := c.System.Validate(); err != nil {
+		return err
+	}
+	if c.Strategy == nil {
+		return fmt.Errorf("engine: no strategy")
+	}
+	if c.Ranks < 1 {
+		return fmt.Errorf("engine: %d ranks", c.Ranks)
+	}
+	if c.Ranks > c.System.MaxRanks() {
+		return fmt.Errorf("engine: %d ranks exceed %s's capacity of %d", c.Ranks, c.System.Name, c.System.MaxRanks())
+	}
+	return nil
+}
+
+// kernelSpec is the noise-free template of one kernel's executions within
+// a step.
+type kernelSpec struct {
+	callpath string
+	name     string
+	kind     calltree.Kind
+	dur      float64 // total duration within one step (all invocations)
+	bytes    float64 // transferred bytes (memory operations)
+	count    int     // invocations represented
+	overlap  bool    // CPU-side: does not extend the step's critical path
+}
+
+// gpuArch returns the kernel-name prefix of the system's GPU generation.
+func gpuArch(sys hardware.System) string {
+	if sys.GPU().Name == "A100" {
+		return "ampere"
+	}
+	return "volta"
+}
+
+// kernelNames returns the profiler-visible (forward, backward) kernel
+// names of a layer type, plus the CPU-side library call accompanying it.
+func kernelNames(arch string, t dnn.LayerType) (fwd, bwd, api string, apiKind calltree.Kind) {
+	switch t {
+	case dnn.Conv2D:
+		return arch + "_scudnn_128x64_relu_interior_nn_v1",
+			arch + "_scudnn_128x64_dgrad_interior_nn_v1",
+			"cudnnConvolutionForward", calltree.KindCuDNN
+	case dnn.DepthwiseConv2D:
+		return "depthwise_fprop_kernel", "depthwise_bprop_kernel",
+			"cudnnConvolutionForward", calltree.KindCuDNN
+	case dnn.Dense:
+		return arch + "_sgemm_128x64_nn", arch + "_sgemm_128x64_tn",
+			"cublasSgemm_v2", calltree.KindCuBLAS
+	case dnn.BatchNorm:
+		return "bn_fw_tr_1C11_kernel_NCHW", "bn_bw_1C11_kernel_NCHW",
+			"cudnnBatchNormalizationForwardTraining", calltree.KindCuDNN
+	case dnn.MaxPool, dnn.AvgPool, dnn.GlobalAvgPool:
+		return "pooling_fw_4d_kernel", "pooling_bw_4d_kernel",
+			"cudnnPoolingForward", calltree.KindCuDNN
+	case dnn.Embedding:
+		return "gather_kernel", "scatter_add_kernel", "", calltree.KindUnknown
+	case dnn.SqueezeExcite:
+		return "se_module_fwd_kernel", "se_module_bwd_kernel", "", calltree.KindUnknown
+	default: // element-wise: ReLU, Swish, Add, Softmax — TensorFlow Eigen
+		return "EigenMetaKernel", "EigenMetaKernel", "", calltree.KindUnknown
+	}
+}
+
+// layerTime returns the GPU time of a set of layer invocations: the
+// roofline maximum of compute and memory time plus launch overhead.
+func layerTime(flops, memBytes float64, launches int, gpu hardware.GPU) float64 {
+	const launchOverhead = 4e-6
+	ct := flops / gpu.EffectiveFLOPS()
+	mt := memBytes / (gpu.MemBandwidthGBs * 1e9)
+	t := ct
+	if mt > t {
+		t = mt
+	}
+	return t + float64(launches)*launchOverhead
+}
+
+// stepSpecs builds the ordered kernel specs of one training or validation
+// step (noise-free medians).
+func stepSpecs(b Benchmark, cfg RunConfig, phase trace.Phase) []kernelSpec {
+	sys := cfg.System
+	gpu := sys.GPU()
+	arch := gpuArch(sys)
+	fraction := cfg.Strategy.ComputeFraction(cfg.Ranks)
+	batch := PerWorkerBatch(b, cfg.Strategy, cfg.Ranks, cfg.WeakScaling)
+	prefix := "App->train->"
+	if phase == trace.PhaseValidation {
+		prefix = "App->test->"
+	}
+
+	var specs []kernelSpec
+	add := func(s kernelSpec) { specs = append(specs, s) }
+
+	// --- framework dispatch (Python/graph-executor overhead per step) ---
+	dispatch := 25e-3
+	if phase == trace.PhaseValidation {
+		dispatch = 15e-3
+	}
+	add(kernelSpec{
+		callpath: prefix + "os.step_dispatch", name: "os.step_dispatch", kind: calltree.KindOS,
+		dur: dispatch, count: 1,
+	})
+
+	// --- input pipeline (I/O + preprocessing on the CPU) ---------------
+	sampleBytes := b.Dataset.BytesPerSample * batch
+	add(kernelSpec{
+		callpath: prefix + "sys_read", name: "sys_read", kind: calltree.KindOS,
+		dur: sampleBytes / 2e9, count: 4,
+	})
+	if phase == trace.PhaseTrain {
+		cores := float64(sys.CoresPerRank)
+		if cores < 1 {
+			cores = 1
+		}
+		add(kernelSpec{
+			callpath: prefix + "os.preprocess", name: "os.preprocess", kind: calltree.KindOS,
+			dur:   batch * b.Dataset.PreprocessCostPerSample * b.Dataset.AugmentationFactor / cores,
+			count: 1,
+		})
+	}
+
+	// --- host→device transfer of the input batch -----------------------
+	inputElems := float64(b.Dataset.InputElements())
+	if b.Dataset.Kind == dataset.KindText {
+		// Text batches are token-index tensors, not dense one-hot inputs.
+		inputElems = float64(b.Dataset.InputShape[0])
+	}
+	h2dBytes := inputElems * 4 * batch
+	add(kernelSpec{
+		callpath: prefix + "Memcpy HtoD", name: "Memcpy HtoD", kind: calltree.KindMemcpy,
+		dur: h2dBytes/(gpu.PCIeGBs*1e9) + 5e-6, bytes: h2dBytes, count: 1,
+	})
+
+	// --- forward (and backward) compute kernels ------------------------
+	type group struct {
+		flops, mem float64
+		layers     []dnn.Layer
+	}
+	compute := b.Model.ComputeLayers()
+	apiCalls := make(map[string]*kernelSpec) // cuDNN/cuBLAS library calls
+
+	emitCompute := func(callbase string, l dnn.Layer, flops, mem float64, count int, backward bool) {
+		fwdName, bwdName, api, apiKind := kernelNames(arch, l.Type)
+		name := fwdName
+		if backward {
+			name = bwdName
+		}
+		add(kernelSpec{
+			callpath: callbase + name, name: name, kind: calltree.KindCUDA,
+			dur: layerTime(flops, mem, count, gpu), count: count,
+		})
+		if api != "" {
+			key := prefix + api
+			spec := apiCalls[key]
+			if spec == nil {
+				spec = &kernelSpec{callpath: key, name: api, kind: apiKind, overlap: true}
+				apiCalls[key] = spec
+			}
+			spec.count += count
+			spec.dur += float64(count) * 12e-6
+		}
+	}
+
+	if cfg.Granularity == GranularityLayer {
+		for _, l := range compute {
+			flops := l.FwdFLOPs * batch * fraction
+			mem := l.ActivationBytes() * batch * 2 * fraction
+			emitCompute(prefix+l.Name+"->", l, flops, mem, 1, false)
+		}
+		if phase == trace.PhaseTrain {
+			for i := len(compute) - 1; i >= 0; i-- {
+				l := compute[i]
+				flops := l.BwdFLOPs() * batch * fraction
+				mem := l.ActivationBytes() * batch * 3 * fraction
+				emitCompute(prefix+l.Name+"->", l, flops, mem, 1, true)
+			}
+		}
+	} else {
+		groups := make(map[dnn.LayerType]*group)
+		var order []dnn.LayerType
+		for _, l := range compute {
+			g := groups[l.Type]
+			if g == nil {
+				g = &group{}
+				groups[l.Type] = g
+				order = append(order, l.Type)
+			}
+			g.flops += l.FwdFLOPs * batch * fraction
+			g.mem += l.ActivationBytes() * batch * 2 * fraction
+			g.layers = append(g.layers, l)
+		}
+		for _, t := range order {
+			g := groups[t]
+			emitCompute(prefix, g.layers[0], g.flops, g.mem, len(g.layers), false)
+		}
+		if phase == trace.PhaseTrain {
+			for i := len(order) - 1; i >= 0; i-- {
+				g := groups[order[i]]
+				emitCompute(prefix, g.layers[0], 2*g.flops, g.mem*1.5, len(g.layers), true)
+			}
+		}
+	}
+
+	// --- training-only: gradient buffers, exchange, weight update -------
+	if phase == trace.PhaseTrain {
+		gradBytes := b.Model.GradientBytes() * fraction
+		add(kernelSpec{
+			callpath: prefix + "Memset", name: "Memset", kind: calltree.KindMemset,
+			dur: gradBytes/(gpu.MemBandwidthGBs*1e9) + 4e-6, bytes: gradBytes, count: 1,
+		})
+
+		for _, op := range cfg.Strategy.StepComms(b.Model, cfg.Ranks, int(math.Round(batch))) {
+			groupRanks := op.GroupRanks
+			if groupRanks <= 0 {
+				groupRanks = cfg.Ranks
+			}
+			net := network.FromSystem(sys, groupRanks)
+			dur := float64(op.Count) * net.Time(op.Op, op.Bytes)
+			if dur <= 0 {
+				continue
+			}
+			name := op.Label
+			if name == "" {
+				name = net.KernelName(op.Op)
+			}
+			kind := calltree.KindMPI
+			if sys.NCCL {
+				kind = calltree.KindNCCL
+			}
+			add(kernelSpec{
+				callpath: prefix + name, name: name, kind: kind,
+				dur: dur, count: op.Count,
+			})
+		}
+
+		updBytes := 3 * gradBytes
+		add(kernelSpec{
+			callpath: prefix + "sgd_update_kernel", name: "sgd_update_kernel", kind: calltree.KindCUDA,
+			dur: updBytes/(gpu.MemBandwidthGBs*1e9) + 4e-6, count: 1,
+		})
+	} else if cfg.Ranks > 1 {
+		// Validation reduces the accuracy metric across ranks.
+		net := network.FromSystem(sys, cfg.Ranks)
+		name := net.KernelName(network.Allreduce)
+		kind := calltree.KindMPI
+		if sys.NCCL {
+			kind = calltree.KindNCCL
+		}
+		add(kernelSpec{
+			callpath: prefix + name, name: name, kind: kind,
+			dur: net.Time(network.Allreduce, 64), count: 1,
+		})
+	}
+
+	// --- CPU-side overlapped bookkeeping --------------------------------
+	totalKernels := 0
+	for _, s := range specs {
+		if s.kind == calltree.KindCUDA {
+			totalKernels += s.count
+		}
+	}
+	add(kernelSpec{
+		callpath: prefix + "cudaLaunchKernel", name: "cudaLaunchKernel", kind: calltree.KindCUDAAPI,
+		dur: float64(totalKernels) * 5e-6, count: totalKernels, overlap: true,
+	})
+	// Sorted iteration: spec order determines the per-event noise stream,
+	// so map order would make otherwise identical runs diverge.
+	apiKeys := make([]string, 0, len(apiCalls))
+	for k := range apiCalls {
+		apiKeys = append(apiKeys, k)
+	}
+	sort.Strings(apiKeys)
+	for _, k := range apiKeys {
+		add(*apiCalls[k])
+	}
+
+	// --- NVTX user functions (exclusive Python-side time) ---------------
+	if phase == trace.PhaseTrain {
+		add(kernelSpec{callpath: prefix + "training_step", name: "training_step", kind: calltree.KindNVTX, dur: 60e-6, count: 1, overlap: true})
+		add(kernelSpec{callpath: prefix + "compute_gradients", name: "compute_gradients", kind: calltree.KindNVTX, dur: 40e-6, count: 1, overlap: true})
+		add(kernelSpec{callpath: prefix + "update_weights", name: "update_weights", kind: calltree.KindNVTX, dur: 20e-6, count: 1, overlap: true})
+	} else {
+		add(kernelSpec{callpath: prefix + "test_step", name: "test_step", kind: calltree.KindNVTX, dur: 50e-6, count: 1, overlap: true})
+	}
+	return specs
+}
+
+// stepExposedTime sums the critical-path durations of a spec set plus the
+// strategy's pipeline bubble.
+func stepExposedTime(specs []kernelSpec, cfg RunConfig) float64 {
+	var t float64
+	for _, s := range specs {
+		if !s.overlap {
+			t += s.dur
+		}
+	}
+	return t * (1 + cfg.Strategy.BubbleOverhead(cfg.Ranks))
+}
+
+// derive returns a deterministic seed from components.
+func derive(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+// warmupScale returns the compute inflation of step s in the warm-up
+// epoch: frameworks autotune and allocate during the first steps.
+func warmupScale(stepIdx int) float64 {
+	return 1 + 2.2*math.Exp(-1.2*float64(stepIdx))
+}
+
+// InitTime returns the fixed startup cost of one run: framework import,
+// graph building, and first-touch dataset I/O. It appears in profiled
+// wall-clock times but not in steady-state epoch times.
+func InitTime(b Benchmark) float64 {
+	return 0.8 + b.Dataset.TotalBytes()/20e9
+}
+
+// Profile simulates one profiling run of the benchmark at the given
+// configuration and repetition, returning per-rank profiles. With
+// sampled=true the efficient sampling strategy is used (ProfileSteps
+// training steps and up to ProfileSteps validation steps from
+// ProfileEpochs epochs); with sampled=false entire epochs are profiled.
+func Profile(b Benchmark, cfg RunConfig, rep int, sampled bool) ([]*profile.Profile, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ep := EpochParams(b, cfg.Strategy, cfg.Ranks, cfg.WeakScaling)
+	nt, nv := ep.TrainSteps(), ep.ValSteps()
+	if nt < 1 {
+		return nil, fmt.Errorf("engine: configuration yields %d training steps per epoch", nt)
+	}
+
+	epochs := cfg.profileEpochs()
+	trainSteps, valSteps := nt, nv
+	if sampled {
+		trainSteps = minInt(cfg.profileSteps(), nt)
+		valSteps = minInt(cfg.profileSteps(), nv)
+	}
+
+	trainSpecs := stepSpecs(b, cfg, trace.PhaseTrain)
+	valSpecs := stepSpecs(b, cfg, trace.PhaseValidation)
+
+	ranksToTrace := cfg.Ranks
+	if cfg.SampleRanks > 0 && cfg.SampleRanks < ranksToTrace {
+		ranksToTrace = cfg.SampleRanks
+	}
+
+	nodes := cfg.System.NodesFor(cfg.Ranks)
+	params := cfg.noiseParams(b)
+	// The communication factor of a step is shared by all ranks (a
+	// collective finishes together); draw it from a rank-independent
+	// stream.
+	commRng := noise.NewSource(params, nodes, derive(cfg.Seed, b.Name, cfg.System.Name, cfg.Strategy.Name(),
+		fmt.Sprintf("comm/%d/%d/%d/%v", cfg.Ranks, b.BatchSize, rep, cfg.WeakScaling)))
+
+	// Pre-draw per-(epoch, step, phase) comm factors so every rank sees
+	// identical collective durations.
+	type stepKey struct {
+		epoch, step int
+		phase       trace.Phase
+	}
+	commFactors := make(map[stepKey]float64)
+	for e := 0; e < epochs; e++ {
+		for s := 0; s < trainSteps; s++ {
+			commFactors[stepKey{e, s, trace.PhaseTrain}] = commRng.CommFactor()
+		}
+		for s := 0; s < valSteps; s++ {
+			commFactors[stepKey{e, s, trace.PhaseValidation}] = commRng.CommFactor()
+		}
+	}
+
+	profiles := make([]*profile.Profile, 0, ranksToTrace)
+	for rank := 0; rank < ranksToTrace; rank++ {
+		src := noise.NewSource(params, nodes, derive(cfg.Seed, b.Name, cfg.System.Name, cfg.Strategy.Name(),
+			fmt.Sprintf("rank/%d/%d/%d/%d/%v", cfg.Ranks, b.BatchSize, rep, rank, cfg.WeakScaling)))
+		tr := trace.Trace{Rank: rank}
+		cursor := 1e-4 * float64(rank%7) // slight per-rank stagger
+
+		emitStep := func(epochIdx, stepIdx int, phase trace.Phase, specs []kernelSpec) {
+			key := stepKey{epochIdx, stepIdx, phase}
+			cf := commFactors[key]
+			if cf == 0 {
+				cf = 1
+			}
+			stepFactor := src.StepFactor()
+			warm := 1.0
+			if epochIdx == 0 && phase == trace.PhaseTrain {
+				warm = warmupScale(stepIdx)
+			}
+			start := cursor
+			for _, s := range specs {
+				dur := s.dur
+				switch calltree.CategoryOf(s.kind) {
+				case calltree.CategoryCommunication:
+					// Collectives complete together: the factor is shared
+					// by all ranks of the step, and the per-rank step
+					// jitter must not apply.
+					dur *= cf
+				case calltree.CategoryMemory:
+					dur *= src.KernelFactor() * stepFactor
+				default:
+					dur *= src.ComputeFactor() * warm * stepFactor
+				}
+				ev := trace.Event{
+					Name: s.name, Kind: s.kind, Callpath: s.callpath,
+					Start: cursor, Duration: dur, Bytes: s.bytes, Count: s.count,
+				}
+				// Data-dependent variability: invocation counts of I/O and
+				// fused element-wise kernels fluctuate per step, and
+				// transfer sizes vary with variable-length samples.
+				if s.kind == calltree.KindOS && s.count > 1 {
+					ev.Count = s.count + src.CountJitter(2)
+				} else if s.kind == calltree.KindCUDA && s.count > 1 {
+					// Shape-dependent kernel splitting and autotuning make
+					// the number of launches of a kernel family fluctuate.
+					ev.Count = s.count + src.CountJitter(2)
+				}
+				if s.kind == calltree.KindMemcpy && s.bytes > 4096 {
+					ev.Bytes = s.bytes * src.BytesJitter()
+				}
+				tr.Events = append(tr.Events, ev)
+				if !s.overlap {
+					cursor += dur
+				}
+			}
+			bubble := cfg.Strategy.BubbleOverhead(cfg.Ranks)
+			if bubble > 0 && phase == trace.PhaseTrain {
+				cursor += (cursor - start) * bubble
+			}
+			cursor += 2e-6
+			tr.Steps = append(tr.Steps, trace.StepSpan{
+				Epoch: epochIdx, Index: stepIdx, Phase: phase, Start: start, End: cursor,
+			})
+			if phase == trace.PhaseTrain {
+				// Asynchronous loss copy lands between steps.
+				d2h := trace.Event{
+					Name: "Memcpy DtoH", Kind: calltree.KindMemcpy,
+					Callpath: "App->train->Memcpy DtoH",
+					Start:    cursor + 1e-6, Duration: 3e-6 * src.KernelFactor(),
+					Bytes: 4096, Count: 1,
+				}
+				tr.Events = append(tr.Events, d2h)
+				cursor += 2e-5
+			}
+		}
+
+		for e := 0; e < epochs; e++ {
+			epochStart := cursor
+			for s := 0; s < trainSteps; s++ {
+				emitStep(e, s, trace.PhaseTrain, trainSpecs)
+			}
+			for s := 0; s < valSteps; s++ {
+				emitStep(e, trainSteps+s, trace.PhaseValidation, valSpecs)
+			}
+			cursor += 1e-5
+			tr.Epochs = append(tr.Epochs, trace.EpochSpan{Index: e, Start: epochStart, End: cursor})
+			cursor += 1e-5
+		}
+		tr.Sort()
+
+		wall := InitTime(b) + tr.TotalDuration()*(1+cfg.overheadFactor())
+		params := cfg.ProfileParams
+		point := cfg.ProfilePoint
+		if len(params) == 0 || len(params) != len(point) {
+			params = []string{"p"}
+			point = []float64{float64(cfg.Ranks)}
+		}
+		profiles = append(profiles, &profile.Profile{
+			App:      b.Name,
+			Params:   append([]string(nil), params...),
+			Config:   append([]float64(nil), point...),
+			Rank:     rank,
+			Rep:      rep,
+			WallTime: wall,
+			Sampled:  sampled,
+			Trace:    tr,
+		})
+	}
+	return profiles, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunNoiseFactor returns the run-level multiplicative noise factor of one
+// repetition — the same factor the trace generator applies to rank 0's
+// computation. It is exposed so coarse-grained baselines (e.g. full-run
+// profiling that only records wall times) perturb analytic epoch times
+// consistently with the fine-grained simulation.
+func RunNoiseFactor(b Benchmark, cfg RunConfig, rep int) float64 {
+	nodes := cfg.System.NodesFor(cfg.Ranks)
+	src := noise.NewSource(cfg.noiseParams(b), nodes, derive(cfg.Seed, b.Name, cfg.System.Name, cfg.Strategy.Name(),
+		fmt.Sprintf("rank/%d/%d/%d/%d/%v", cfg.Ranks, b.BatchSize, rep, 0, cfg.WeakScaling)))
+	return src.RunFactorCompute()
+}
+
+// EpochStats summarizes the analytic (noise-free) per-epoch timing of a
+// configuration, used for the profiling-overhead experiment (Fig. 8).
+type EpochStats struct {
+	// TrainSteps and ValSteps are n_t and n_v.
+	TrainSteps, ValSteps int
+	// StepTime and ValStepTime are the steady-state step durations.
+	StepTime, ValStepTime float64
+	// ExecTimePerEpoch is the full epoch wall time n_t·t_s + n_v·t_v.
+	ExecTimePerEpoch float64
+	// SampledExecPerEpoch is the executed time per profiled epoch under
+	// the efficient sampling strategy (ProfileSteps steps plus
+	// initialization amortized over the profiled epochs).
+	SampledExecPerEpoch float64
+	// ProfilingTimeFull and ProfilingTimeSampled are the profiling
+	// overheads per epoch for full-epoch and sampled profiling.
+	ProfilingTimeFull, ProfilingTimeSampled float64
+}
+
+// SavingsFraction returns the relative reduction in profiled execution
+// time achieved by the sampling strategy (the paper reports 94.9% on
+// average across the five benchmarks at 64 nodes).
+func (s EpochStats) SavingsFraction() float64 {
+	if s.ExecTimePerEpoch == 0 {
+		return 0
+	}
+	return 1 - s.SampledExecPerEpoch/s.ExecTimePerEpoch
+}
+
+// Stats computes the analytic epoch statistics for a configuration.
+func Stats(b Benchmark, cfg RunConfig) (EpochStats, error) {
+	if err := b.Validate(); err != nil {
+		return EpochStats{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return EpochStats{}, err
+	}
+	ep := EpochParams(b, cfg.Strategy, cfg.Ranks, cfg.WeakScaling)
+	nt, nv := ep.TrainSteps(), ep.ValSteps()
+	tStep := stepExposedTime(stepSpecs(b, cfg, trace.PhaseTrain), cfg)
+	tVal := stepExposedTime(stepSpecs(b, cfg, trace.PhaseValidation), cfg)
+	exec := float64(nt)*tStep + float64(nv)*tVal
+	epochs := float64(cfg.profileEpochs())
+	sampledSteps := float64(minInt(cfg.profileSteps(), nt))
+	sampledVal := float64(minInt(cfg.profileSteps(), nv))
+	sampled := (InitTime(b) + epochs*(sampledSteps*tStep+sampledVal*tVal)) / epochs
+	of := cfg.overheadFactor()
+	return EpochStats{
+		TrainSteps: nt, ValSteps: nv,
+		StepTime: tStep, ValStepTime: tVal,
+		ExecTimePerEpoch:     exec,
+		SampledExecPerEpoch:  sampled,
+		ProfilingTimeFull:    of * exec,
+		ProfilingTimeSampled: of * sampled,
+	}, nil
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"fmt"
+
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// MemoryFootprint estimates the per-rank GPU memory of one training
+// configuration in bytes, the quantity that forces model parallelism when
+// it exceeds a single GPU (the paper's Section 1 motivation: "they far
+// exceed the size of single GPU memory, making model parallelization …
+// indispensable"). The estimate follows the standard accounting:
+//
+//	weights + gradients (4 B each per parameter)
+//	+ optimizer state (8 B per parameter: Adam moments)
+//	+ stored activations for the backward pass (per sample × batch)
+//	+ a fixed framework/workspace reserve.
+//
+// The model-parallel fraction divides the parameter-related terms and the
+// activations (each rank holds its shard).
+type MemoryFootprint struct {
+	WeightsBytes     float64
+	GradientBytes    float64
+	OptimizerBytes   float64
+	ActivationsBytes float64
+	WorkspaceBytes   float64
+}
+
+// Total returns the total footprint in bytes.
+func (m MemoryFootprint) Total() float64 {
+	return m.WeightsBytes + m.GradientBytes + m.OptimizerBytes + m.ActivationsBytes + m.WorkspaceBytes
+}
+
+// GiB returns the total footprint in GiB.
+func (m MemoryFootprint) GiB() float64 { return m.Total() / (1 << 30) }
+
+// EstimateMemory computes the per-rank footprint of the benchmark trained
+// with the given strategy at the given scale.
+func EstimateMemory(b Benchmark, strategy parallel.Strategy, ranks int, weakScaling bool) MemoryFootprint {
+	fraction := strategy.ComputeFraction(ranks)
+	params := b.Model.TotalParams() * fraction
+	batch := PerWorkerBatch(b, strategy, ranks, weakScaling)
+	return MemoryFootprint{
+		WeightsBytes:     params * 4,
+		GradientBytes:    params * 4,
+		OptimizerBytes:   params * 8,
+		ActivationsBytes: b.Model.ActivationBytes() * fraction * batch,
+		WorkspaceBytes:   1.5 * (1 << 30),
+	}
+}
+
+// CheckMemory reports whether the configuration fits the system's GPU
+// memory, returning a descriptive error when it does not. Real deployments
+// would respond with a smaller batch, gradient checkpointing, or a higher
+// degree of model parallelism — which is why the check is advisory rather
+// than enforced by Profile.
+func CheckMemory(b Benchmark, sys hardware.System, strategy parallel.Strategy, ranks int, weakScaling bool) error {
+	fp := EstimateMemory(b, strategy, ranks, weakScaling)
+	capGiB := sys.GPU().MemGiB
+	if fp.GiB() > capGiB {
+		return fmt.Errorf("engine: %s at %d ranks needs ≈%.1f GiB per %s GPU (capacity %.0f GiB): reduce the batch, enable checkpointing, or raise model parallelism",
+			b.Name, ranks, fp.GiB(), sys.GPU().Name, capGiB)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+func TestEstimateMemoryComponents(t *testing.T) {
+	b := mustBenchmark(t, "cifar10")
+	fp := EstimateMemory(b, parallel.DataParallel{}, 4, true)
+	params := b.Model.TotalParams()
+	if fp.WeightsBytes != params*4 {
+		t.Errorf("weights = %v, want %v", fp.WeightsBytes, params*4)
+	}
+	if fp.GradientBytes != params*4 {
+		t.Errorf("gradients = %v", fp.GradientBytes)
+	}
+	if fp.OptimizerBytes != params*8 {
+		t.Errorf("optimizer = %v", fp.OptimizerBytes)
+	}
+	if fp.ActivationsBytes <= 0 || fp.WorkspaceBytes <= 0 {
+		t.Error("activations/workspace missing")
+	}
+	if fp.Total() != fp.WeightsBytes+fp.GradientBytes+fp.OptimizerBytes+fp.ActivationsBytes+fp.WorkspaceBytes {
+		t.Error("Total does not sum the components")
+	}
+}
+
+func TestEstimateMemoryModelParallelShrinks(t *testing.T) {
+	b := mustBenchmark(t, "cifar10")
+	full := EstimateMemory(b, parallel.DataParallel{}, 16, true)
+	sharded := EstimateMemory(b, parallel.TensorParallel{GroupSize: 4}, 16, true)
+	if sharded.WeightsBytes >= full.WeightsBytes {
+		t.Error("model parallelism should shard the weights")
+	}
+	if sharded.Total() >= full.Total() {
+		t.Error("model parallelism should reduce the footprint")
+	}
+}
+
+func TestEstimateMemoryStrongScalingShrinksActivations(t *testing.T) {
+	b := mustBenchmark(t, "cifar10")
+	small := EstimateMemory(b, parallel.DataParallel{}, 64, false)
+	big := EstimateMemory(b, parallel.DataParallel{}, 2, false)
+	// Strong scaling: per-worker batch shrinks with ranks, so activations
+	// shrink too.
+	if small.ActivationsBytes >= big.ActivationsBytes {
+		t.Errorf("activations should shrink under strong scaling: %v vs %v",
+			small.ActivationsBytes, big.ActivationsBytes)
+	}
+}
+
+func TestCheckMemoryAcceptsPaperConfigs(t *testing.T) {
+	// Every benchmark at its paper configuration must fit the evaluation
+	// systems — the authors ran them.
+	bs, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		for _, sys := range []hardware.System{hardware.DEEP(), hardware.JURECA()} {
+			if err := CheckMemory(b, sys, parallel.DataParallel{}, 8, true); err != nil {
+				t.Errorf("%s on %s: %v", b.Name, sys.Name, err)
+			}
+		}
+	}
+}
+
+func TestCheckMemoryRejectsHugeBatch(t *testing.T) {
+	b := mustBenchmark(t, "imagenet")
+	b.BatchSize = 4096 // ≈ hundreds of GiB of activations
+	err := CheckMemory(b, hardware.DEEP(), parallel.DataParallel{}, 8, true)
+	if err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if !strings.Contains(err.Error(), "GiB") {
+		t.Errorf("error lacks sizing detail: %v", err)
+	}
+}
+
+func TestCheckMemoryModelParallelRescues(t *testing.T) {
+	// A configuration that exceeds a single GPU can fit once sharded —
+	// the paper's motivation for model parallelism.
+	b := mustBenchmark(t, "imagenet")
+	b.BatchSize = 1024
+	if err := CheckMemory(b, hardware.DEEP(), parallel.DataParallel{}, 8, true); err == nil {
+		t.Skip("batch too small to exceed memory on this calibration")
+	}
+	if err := CheckMemory(b, hardware.JURECA(), parallel.TensorParallel{GroupSize: 4}, 8, true); err != nil {
+		t.Errorf("tensor parallelism should rescue the configuration: %v", err)
+	}
+}

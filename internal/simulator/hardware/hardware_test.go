@@ -1,0 +1,156 @@
+package hardware
+
+import "testing"
+
+func TestDEEPMatchesTable1(t *testing.T) {
+	s := DEEP()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 75 {
+		t.Errorf("DEEP nodes = %d, want 75", s.Nodes)
+	}
+	if s.Node.GPUsPerNode != 1 {
+		t.Errorf("DEEP GPUs/node = %d, want 1", s.Node.GPUsPerNode)
+	}
+	if s.GPU().Name != "V100" {
+		t.Errorf("DEEP GPU = %s, want V100", s.GPU().Name)
+	}
+	if s.NCCL {
+		t.Error("DEEP must not support NCCL (Table 1)")
+	}
+	if s.Node.TotalCores() != 8 {
+		t.Errorf("DEEP cores = %d, want 8", s.Node.TotalCores())
+	}
+	if s.CoresPerRank != 8 {
+		t.Errorf("DEEP ϱ = %d, want 8", s.CoresPerRank)
+	}
+	// 100 Gbit/s EDR.
+	if bw := s.Network.EffectiveBandwidth(); bw < 12e9 || bw > 13e9 {
+		t.Errorf("DEEP bandwidth = %v B/s, want ≈12.5e9", bw)
+	}
+}
+
+func TestJURECAMatchesTable1(t *testing.T) {
+	s := JURECA()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 192 {
+		t.Errorf("JURECA nodes = %d, want 192", s.Nodes)
+	}
+	if s.Node.GPUsPerNode != 4 {
+		t.Errorf("JURECA GPUs/node = %d, want 4", s.Node.GPUsPerNode)
+	}
+	if s.GPU().Name != "A100" {
+		t.Errorf("JURECA GPU = %s, want A100", s.GPU().Name)
+	}
+	if !s.NCCL {
+		t.Error("JURECA must support NCCL (Table 1)")
+	}
+	if s.Node.TotalCores() != 128 {
+		t.Errorf("JURECA cores = %d, want 128", s.Node.TotalCores())
+	}
+	// Dual HDR links.
+	if s.Network.Links != 2 {
+		t.Errorf("JURECA links = %d, want 2", s.Network.Links)
+	}
+}
+
+func TestGPUEffectiveFLOPS(t *testing.T) {
+	g := V100()
+	eff := g.EffectiveFLOPS()
+	if eff <= 0 || eff >= g.FP32TFLOPS*1e12 {
+		t.Errorf("effective FLOPS = %v out of range", eff)
+	}
+	// Zero efficiency falls back to a default.
+	g.Efficiency = 0
+	if g.EffectiveFLOPS() <= 0 {
+		t.Error("zero-efficiency fallback broken")
+	}
+}
+
+func TestA100FasterThanV100(t *testing.T) {
+	if A100().EffectiveFLOPS() <= V100().EffectiveFLOPS() {
+		t.Error("A100 should out-compute V100")
+	}
+	if A100().MemBandwidthGBs <= V100().MemBandwidthGBs {
+		t.Error("A100 should have more memory bandwidth")
+	}
+}
+
+func TestNetworkLatencySeconds(t *testing.T) {
+	n := Network{LatencyUS: 2}
+	if n.Latency() != 2e-6 {
+		t.Errorf("Latency = %v, want 2e-6", n.Latency())
+	}
+}
+
+func TestNetworkEffectiveBandwidthZeroLinks(t *testing.T) {
+	n := Network{BandwidthGBs: 10}
+	if n.EffectiveBandwidth() != 10e9 {
+		t.Errorf("0 links should default to 1: %v", n.EffectiveBandwidth())
+	}
+}
+
+func TestMaxRanksAndNodesFor(t *testing.T) {
+	j := JURECA()
+	if j.MaxRanks() != 192*4 {
+		t.Errorf("MaxRanks = %d", j.MaxRanks())
+	}
+	if j.NodesFor(1) != 1 || j.NodesFor(4) != 1 || j.NodesFor(5) != 2 || j.NodesFor(64) != 16 {
+		t.Error("NodesFor wrong for JURECA")
+	}
+	d := DEEP()
+	if d.NodesFor(64) != 64 {
+		t.Errorf("DEEP NodesFor(64) = %d, want 64", d.NodesFor(64))
+	}
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	good := DEEP()
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("unnamed system accepted")
+	}
+	bad = good
+	bad.Nodes = 0
+	if bad.Validate() == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad = good
+	bad.Node.GPUs = nil
+	if bad.Validate() == nil {
+		t.Error("GPU-less system accepted")
+	}
+	bad = good
+	bad.Network.BandwidthGBs = 0
+	if bad.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = good
+	bad.CoresPerRank = 0
+	if bad.Validate() == nil {
+		t.Error("zero ϱ accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("DEEP"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("JURECA"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("frontier"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestSystemsContainsBoth(t *testing.T) {
+	all := Systems()
+	if len(all) != 2 {
+		t.Errorf("Systems() has %d entries", len(all))
+	}
+}

@@ -1,0 +1,164 @@
+package network
+
+import (
+	"testing"
+
+	"extradeep/internal/simulator/hardware"
+)
+
+func deepConfig(ranks int) Config   { return FromSystem(hardware.DEEP(), ranks) }
+func jurecaConfig(ranks int) Config { return FromSystem(hardware.JURECA(), ranks) }
+
+func TestCollectiveString(t *testing.T) {
+	names := map[Collective]string{
+		Allreduce: "allreduce", Allgather: "allgather", ReduceScatter: "reduce_scatter",
+		Broadcast: "broadcast", AllToAll: "alltoall", PointToPoint: "p2p",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestSingleRankNoCommunication(t *testing.T) {
+	cfg := deepConfig(1)
+	for _, op := range []Collective{Allreduce, Allgather, Broadcast, AllToAll, PointToPoint} {
+		if got := cfg.Time(op, 1e6); got != 0 {
+			t.Errorf("%v with 1 rank = %v, want 0", op, got)
+		}
+	}
+}
+
+func TestAllreduceGrowsWithRanks(t *testing.T) {
+	const bytes = 100 * 1e6 // 100 MB gradient
+	prev := 0.0
+	for _, p := range []int{2, 4, 8, 16, 32, 64} {
+		cur := deepConfig(p).Time(Allreduce, bytes)
+		if cur <= prev {
+			t.Errorf("allreduce(%d ranks) = %v not > %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestAllreduceGrowsWithBytes(t *testing.T) {
+	cfg := deepConfig(8)
+	small := cfg.Time(Allreduce, 1e6)
+	large := cfg.Time(Allreduce, 100e6)
+	if large <= small {
+		t.Errorf("larger message not slower: %v vs %v", large, small)
+	}
+}
+
+func TestNegativeBytesTreatedAsZero(t *testing.T) {
+	cfg := deepConfig(8)
+	if got := cfg.Time(Allreduce, -5); got != cfg.Time(Allreduce, 0) {
+		t.Error("negative bytes not clamped")
+	}
+}
+
+func TestNCCLHierarchicalBeatsStagedMPIIntraNode(t *testing.T) {
+	// 4 ranks on one JURECA node: NVLink-only allreduce must beat the
+	// CPU-staged MPI path of a 4-rank DEEP configuration.
+	nccl := jurecaConfig(4).Time(Allreduce, 100e6)
+	mpi := deepConfig(4).Time(Allreduce, 100e6)
+	if nccl >= mpi {
+		t.Errorf("intra-node NCCL (%v) should beat staged MPI (%v)", nccl, mpi)
+	}
+}
+
+func TestReduceScatterHalfOfAllreduce(t *testing.T) {
+	cfg := deepConfig(16)
+	ar := cfg.Time(Allreduce, 10e6)
+	rs := cfg.Time(ReduceScatter, 10e6)
+	if rs <= 0 || rs >= ar {
+		t.Errorf("reduce-scatter = %v, allreduce = %v", rs, ar)
+	}
+}
+
+func TestBroadcastLogScaling(t *testing.T) {
+	// Broadcast rounds grow with ⌈log2 p⌉, so t(64)/t(4) ≈ 3 for
+	// latency-dominated messages.
+	small := deepConfig(4).Time(Broadcast, 8)
+	big := deepConfig(64).Time(Broadcast, 8)
+	ratio := big / small
+	if ratio < 2 || ratio > 5 {
+		t.Errorf("broadcast scaling ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestContentionSlowsLargeScale(t *testing.T) {
+	with := deepConfig(64)
+	without := with
+	without.ContentionPerNodeLog = 0
+	bytes := 50e6
+	if with.Time(Allreduce, bytes) <= without.Time(Allreduce, bytes) {
+		t.Error("contention factor has no effect")
+	}
+}
+
+func TestNodesComputation(t *testing.T) {
+	if got := jurecaConfig(4).Nodes(); got != 1 {
+		t.Errorf("4 ranks on JURECA = %d nodes, want 1", got)
+	}
+	if got := jurecaConfig(5).Nodes(); got != 2 {
+		t.Errorf("5 ranks on JURECA = %d nodes, want 2", got)
+	}
+	if got := deepConfig(8).Nodes(); got != 8 {
+		t.Errorf("8 ranks on DEEP = %d nodes, want 8", got)
+	}
+	zero := Config{Ranks: 0}
+	if zero.Nodes() != 1 {
+		t.Error("zero ranks should clamp to 1 node")
+	}
+}
+
+func TestP2PUsesNVLinkWhenAvailable(t *testing.T) {
+	nvlink := jurecaConfig(8).Time(PointToPoint, 10e6)
+	fabric := deepConfig(8).Time(PointToPoint, 10e6)
+	if nvlink >= fabric {
+		t.Errorf("NVLink p2p (%v) should beat fabric p2p (%v)", nvlink, fabric)
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	d := deepConfig(4)
+	if d.KernelName(Allreduce) != "MPI_Allreduce" {
+		t.Errorf("DEEP allreduce name = %s", d.KernelName(Allreduce))
+	}
+	j := jurecaConfig(4)
+	if j.KernelName(Allreduce) != "ncclAllReduce" {
+		t.Errorf("JURECA allreduce name = %s", j.KernelName(Allreduce))
+	}
+	if d.KernelName(Broadcast) != "MPI_Bcast" || j.KernelName(Broadcast) != "ncclBroadcast" {
+		t.Error("broadcast kernel names wrong")
+	}
+}
+
+func TestUnknownCollectiveZero(t *testing.T) {
+	if got := deepConfig(4).Time(Collective(99), 1e6); got != 0 {
+		t.Errorf("unknown collective = %v, want 0", got)
+	}
+}
+
+func TestEffectiveBandwidthFallback(t *testing.T) {
+	cfg := Config{Ranks: 4, GPUsPerNode: 1}
+	// No bandwidth set: must not divide by zero.
+	if got := cfg.Time(Allreduce, 1e6); got <= 0 {
+		t.Errorf("fallback bandwidth path = %v", got)
+	}
+}
+
+func TestAllreduceWeakScalingShape(t *testing.T) {
+	// Under weak scaling the gradient size is constant; the allreduce
+	// time curve over p should be concave-ish (growth slows), matching
+	// the sub-linear comm growth the paper models. Check that the ratio
+	// t(2p)/t(p) decreases with p.
+	bytes := 100e6
+	r1 := deepConfig(4).Time(Allreduce, bytes) / deepConfig(2).Time(Allreduce, bytes)
+	r2 := deepConfig(64).Time(Allreduce, bytes) / deepConfig(32).Time(Allreduce, bytes)
+	if r2 >= r1 {
+		t.Errorf("allreduce growth not flattening: ratios %v then %v", r1, r2)
+	}
+}

@@ -1,0 +1,65 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extradeep/internal/simulator/hardware"
+)
+
+// Property: collective time is non-negative and finite for any sane input.
+func TestTimeNonNegativeProperty(t *testing.T) {
+	ops := []Collective{Allreduce, Allgather, ReduceScatter, Broadcast, AllToAll, PointToPoint}
+	f := func(rawRanks uint8, rawBytes uint32, opIdx uint8, jureca bool) bool {
+		ranks := int(rawRanks%200) + 1
+		bytes := float64(rawBytes)
+		sys := hardware.DEEP()
+		if jureca {
+			sys = hardware.JURECA()
+		}
+		cfg := FromSystem(sys, ranks)
+		d := cfg.Time(ops[int(opIdx)%len(ops)], bytes)
+		return d >= 0 && d < 1e6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: collective time is monotone non-decreasing in the message
+// size for a fixed configuration.
+func TestTimeMonotoneInBytesProperty(t *testing.T) {
+	ops := []Collective{Allreduce, Allgather, ReduceScatter, Broadcast, AllToAll, PointToPoint}
+	f := func(rawRanks uint8, b1, b2 uint32, opIdx uint8) bool {
+		ranks := int(rawRanks%128) + 2
+		lo, hi := float64(b1), float64(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cfg := FromSystem(hardware.JURECA(), ranks)
+		op := ops[int(opIdx)%len(ops)]
+		return cfg.Time(op, lo) <= cfg.Time(op, hi)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allreduce time is monotone non-decreasing in the rank count
+// on the staged-MPI path (more ranks never make the collective cheaper).
+func TestAllreduceMonotoneInRanksProperty(t *testing.T) {
+	f := func(r1, r2 uint8, rawBytes uint32) bool {
+		a := int(r1%70) + 2
+		b := int(r2%70) + 2
+		if a > b {
+			a, b = b, a
+		}
+		bytes := float64(rawBytes % 100_000_000)
+		ca := FromSystem(hardware.DEEP(), a)
+		cb := FromSystem(hardware.DEEP(), b)
+		return ca.Time(Allreduce, bytes) <= cb.Time(Allreduce, bytes)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

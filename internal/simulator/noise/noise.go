@@ -1,0 +1,140 @@
+// Package noise provides the seeded, reproducible system-noise processes
+// of the training simulator. The paper reports run-to-run variations of
+// 0.6–13.9% that grow with scale (average 12.6% on DEEP and 17.4% on
+// JURECA, Section 4.3); this package generates multiplicative log-normal
+// noise whose spread follows that calibration: a per-run component shared
+// by all steps of one execution (queue placement, neighbours on the
+// fabric), a per-step jitter, and a per-kernel micro-jitter.
+package noise
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Params calibrates the noise model.
+type Params struct {
+	// RunSigma0 is the relative run-to-run spread with a single node.
+	RunSigma0 float64
+	// RunSigmaPerLog is the additional spread per log₂(nodes).
+	RunSigmaPerLog float64
+	// StepSigma is the relative per-step jitter.
+	StepSigma float64
+	// KernelSigma is the relative per-kernel micro-jitter.
+	KernelSigma float64
+	// CommFactor scales the run and step components for communication
+	// operations, which are more exposed to fabric contention.
+	CommFactor float64
+}
+
+// DEEPParams returns the calibration for the DEEP system (average
+// run-to-run variation ≈12.6% at the evaluated scales).
+func DEEPParams() Params {
+	return Params{
+		RunSigma0:      0.008,
+		RunSigmaPerLog: 0.016,
+		StepSigma:      0.01,
+		KernelSigma:    0.03,
+		CommFactor:     2.0,
+	}
+}
+
+// JURECAParams returns the calibration for the JURECA system (average
+// run-to-run variation ≈17.4%).
+func JURECAParams() Params {
+	return Params{
+		RunSigma0:      0.012,
+		RunSigmaPerLog: 0.022,
+		StepSigma:      0.014,
+		KernelSigma:    0.04,
+		CommFactor:     2.2,
+	}
+}
+
+// RunSigma returns the run-to-run spread at the given node count.
+func (p Params) RunSigma(nodes int) float64 {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return p.RunSigma0 + p.RunSigmaPerLog*math.Log2(float64(nodes))
+}
+
+// Source generates the noise factors of one simulated execution.
+// It is deterministic for a given seed.
+type Source struct {
+	params Params
+	rng    *rand.Rand
+	// countRng is a second, independent stream for discrete count/bytes
+	// jitter, so that adding or removing count jitter does not shift the
+	// timing-noise stream.
+	countRng *rand.Rand
+	// runCompute and runComm are the per-run multiplicative factors,
+	// fixed at construction.
+	runCompute float64
+	runComm    float64
+}
+
+// NewSource creates a noise source for one run at the given scale.
+// The per-run factor is drawn once; per-step and per-kernel factors are
+// drawn on demand.
+func NewSource(p Params, nodes int, seed int64) *Source {
+	rng := rand.New(rand.NewSource(seed))
+	sigma := p.RunSigma(nodes)
+	s := &Source{params: p, rng: rng, countRng: rand.New(rand.NewSource(seed ^ 0x5deece66d))}
+	s.runCompute = logNormal(rng, sigma)
+	s.runComm = logNormal(rng, sigma*p.CommFactor)
+	return s
+}
+
+// logNormal draws a multiplicative factor with median 1 and log-scale
+// sigma.
+func logNormal(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(rng.NormFloat64() * sigma)
+}
+
+// RunFactorCompute returns the run-level factor applied to computation.
+func (s *Source) RunFactorCompute() float64 { return s.runCompute }
+
+// RunFactorComm returns the run-level factor applied to communication.
+func (s *Source) RunFactorComm() float64 { return s.runComm }
+
+// StepFactor draws the jitter of one training step.
+func (s *Source) StepFactor() float64 { return logNormal(s.rng, s.params.StepSigma) }
+
+// KernelFactor draws the micro-jitter of one kernel execution.
+func (s *Source) KernelFactor() float64 { return logNormal(s.rng, s.params.KernelSigma) }
+
+// CommFactor draws the jitter of one communication operation, combining
+// the run-level communication factor with per-operation spread.
+func (s *Source) CommFactor() float64 {
+	return s.runComm * logNormal(s.rng, s.params.StepSigma*s.params.CommFactor)
+}
+
+// ComputeFactor combines the run-level compute factor with per-kernel
+// jitter.
+func (s *Source) ComputeFactor() float64 {
+	return s.runCompute * logNormal(s.rng, s.params.KernelSigma)
+}
+
+// CountJitter returns a small non-negative integer perturbation (0…max)
+// for kernel invocation counts: data loaders retry reads, frameworks
+// re-launch fused element-wise kernels depending on input shapes, and so
+// on. The distribution is biased toward 0 so counts stay near nominal.
+func (s *Source) CountJitter(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	// P(0) = 1/2, remaining mass uniform over 1…max.
+	if s.countRng.Intn(2) == 0 {
+		return 0
+	}
+	return 1 + s.countRng.Intn(max)
+}
+
+// BytesJitter returns a multiplicative factor for transfer sizes
+// (variable-length samples such as JPEGs make per-batch byte counts vary
+// slightly).
+func (s *Source) BytesJitter() float64 { return logNormal(s.countRng, 0.02) }

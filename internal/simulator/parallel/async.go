@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"math"
+
+	"extradeep/internal/simulator/dnn"
+	"extradeep/internal/simulator/network"
+)
+
+// AsyncDataParallel is asynchronous data parallelism with a sharded
+// parameter server (the ASP model the paper distinguishes from Extra-P's
+// BSP-only support, Section 2): workers push gradients to and pull weights
+// from a set of parameter-server shards without a global barrier. There is
+// no collective; each worker exchanges the full model twice per step
+// point-to-point, and the servers' aggregate ingest bandwidth becomes the
+// contention point as workers are added.
+type AsyncDataParallel struct {
+	// Servers is the number of parameter-server shards (default:
+	// max(1, workers/8), a common provisioning rule).
+	Servers int
+}
+
+func (a AsyncDataParallel) servers(ranks int) int {
+	if a.Servers > 0 {
+		return a.Servers
+	}
+	s := ranks / 8
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (AsyncDataParallel) Name() string { return "async" }
+
+// Degrees implements Strategy: all ranks process distinct data (G = x₁),
+// no model splitting (M = 1).
+func (AsyncDataParallel) Degrees(ranks int) (float64, float64) { return float64(ranks), 1 }
+
+// ComputeFraction implements Strategy.
+func (AsyncDataParallel) ComputeFraction(int) float64 { return 1 }
+
+// BubbleOverhead implements Strategy: ASP has no synchronization bubble —
+// that is its selling point (workers never wait for stragglers).
+func (AsyncDataParallel) BubbleOverhead(int) float64 { return 0 }
+
+// StepComms implements Strategy: one gradient push and one weight pull of
+// the full model per step, point-to-point to the server shards. The
+// per-transfer time is inflated by the server-side contention factor
+// workers/servers, modeling the ingest bottleneck that makes parameter
+// servers scale sub-linearly.
+func (a AsyncDataParallel) StepComms(m *dnn.Model, ranks, batch int) []CommOp {
+	servers := a.servers(ranks)
+	contention := math.Ceil(float64(ranks) / float64(servers))
+	bytes := m.GradientBytes() * contention
+	return []CommOp{
+		{
+			Op:         network.PointToPoint,
+			Bytes:      bytes,
+			Count:      1,
+			GroupRanks: 2,
+			Label:      "ps_push_gradients",
+		},
+		{
+			Op:         network.PointToPoint,
+			Bytes:      bytes,
+			Count:      1,
+			GroupRanks: 2,
+			Label:      "ps_pull_weights",
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"testing"
+
+	"extradeep/internal/simulator/network"
+)
+
+func TestAsyncDegrees(t *testing.T) {
+	g, m := AsyncDataParallel{}.Degrees(32)
+	if g != 32 || m != 1 {
+		t.Errorf("G,M = %v,%v; want 32,1", g, m)
+	}
+}
+
+func TestAsyncNoBubbleFullCompute(t *testing.T) {
+	a := AsyncDataParallel{}
+	if a.BubbleOverhead(64) != 0 {
+		t.Error("ASP has no synchronization bubble")
+	}
+	if a.ComputeFraction(64) != 1 {
+		t.Error("ASP workers hold the full model")
+	}
+}
+
+func TestAsyncServerDefaults(t *testing.T) {
+	a := AsyncDataParallel{}
+	if a.servers(4) != 1 {
+		t.Errorf("servers(4) = %d, want 1", a.servers(4))
+	}
+	if a.servers(64) != 8 {
+		t.Errorf("servers(64) = %d, want 8", a.servers(64))
+	}
+	if (AsyncDataParallel{Servers: 3}).servers(64) != 3 {
+		t.Error("explicit server count ignored")
+	}
+}
+
+func TestAsyncCommsArePointToPoint(t *testing.T) {
+	m := testModel()
+	ops := AsyncDataParallel{}.StepComms(m, 16, 256)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2 (push + pull)", len(ops))
+	}
+	for _, op := range ops {
+		if op.Op != network.PointToPoint {
+			t.Errorf("op %s is %v, want p2p", op.Label, op.Op)
+		}
+		if op.Label == "" {
+			t.Error("ASP ops must carry labels (no collective kernel name exists)")
+		}
+	}
+}
+
+func TestAsyncServerContentionGrows(t *testing.T) {
+	// With a fixed server count, per-worker transfer cost grows with the
+	// worker count (ingest bottleneck).
+	m := testModel()
+	a := AsyncDataParallel{Servers: 2}
+	small := a.StepComms(m, 8, 256)[0].Bytes
+	large := a.StepComms(m, 64, 256)[0].Bytes
+	if large <= small {
+		t.Errorf("server contention should grow: %v vs %v", small, large)
+	}
+}
+
+func TestAsyncDefaultProvisioningKeepsContentionBounded(t *testing.T) {
+	// With the default 1-server-per-8-workers rule the contention factor
+	// stays at ≈8 regardless of scale.
+	m := testModel()
+	a := AsyncDataParallel{}
+	b16 := a.StepComms(m, 16, 256)[0].Bytes
+	b128 := a.StepComms(m, 128, 256)[0].Bytes
+	if b16 != b128 {
+		t.Errorf("default provisioning should keep per-worker bytes flat: %v vs %v", b16, b128)
+	}
+}
+
+func TestByNameAsync(t *testing.T) {
+	s, err := ByName("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "async" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	all := AllNames()
+	if len(all) != 4 || all[3] != "async" {
+		t.Errorf("AllNames = %v", all)
+	}
+}

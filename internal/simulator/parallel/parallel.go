@@ -1,0 +1,287 @@
+// Package parallel models the three distributed-training strategies the
+// paper evaluates (Section 4.1): pure data parallelism, tensor (data+model)
+// parallelism, and pipeline parallelism. A strategy determines the degrees
+// of data and model parallelism (G and M of Section 2.3.1), the fraction
+// of the model each rank computes, and the communication operations issued
+// per training step.
+package parallel
+
+import (
+	"fmt"
+
+	"extradeep/internal/simulator/dnn"
+	"extradeep/internal/simulator/network"
+)
+
+// CommOp is one communication operation of a training step.
+type CommOp struct {
+	// Op is the collective type.
+	Op network.Collective
+	// Bytes is the per-rank message size.
+	Bytes float64
+	// Count is how many times the operation runs per step.
+	Count int
+	// GroupRanks is the communicator size (sub-communicators for
+	// model-parallel groups); 0 means all ranks.
+	GroupRanks int
+	// Label overrides the profiler kernel name ("" uses the collective's
+	// conventional name for the system).
+	Label string
+}
+
+// Strategy describes one parallelization approach.
+type Strategy interface {
+	// Name returns the strategy identifier used in reports.
+	Name() string
+	// Degrees returns (G, M) for the given total rank count.
+	Degrees(ranks int) (g, m float64)
+	// ComputeFraction is the fraction of the model's FLOPs one rank
+	// executes per (micro)batch.
+	ComputeFraction(ranks int) float64
+	// BubbleOverhead is the relative idle time caused by the strategy's
+	// schedule (pipeline fill/drain); 0 for non-pipelined strategies.
+	BubbleOverhead(ranks int) float64
+	// StepComms returns the communication operations of one training
+	// step for a model trained with the given per-worker batch size.
+	StepComms(m *dnn.Model, ranks, batch int) []CommOp
+}
+
+// DataParallel is plain Horovod-style data parallelism: every rank holds
+// the full model, processes its own shard, and allreduces gradients after
+// every step. G = ranks, M = 1.
+type DataParallel struct {
+	// FusionBuckets is the number of gradient-fusion buckets the
+	// allreduce is split into (Horovod tensor fusion); ≥ 1.
+	FusionBuckets int
+}
+
+// Name implements Strategy.
+func (DataParallel) Name() string { return "data" }
+
+// Degrees implements Strategy.
+func (DataParallel) Degrees(ranks int) (float64, float64) { return float64(ranks), 1 }
+
+// ComputeFraction implements Strategy.
+func (DataParallel) ComputeFraction(int) float64 { return 1 }
+
+// BubbleOverhead implements Strategy.
+func (DataParallel) BubbleOverhead(int) float64 { return 0 }
+
+// StepComms implements Strategy: one (bucketed) gradient allreduce.
+func (d DataParallel) StepComms(m *dnn.Model, ranks, batch int) []CommOp {
+	buckets := d.FusionBuckets
+	if buckets < 1 {
+		buckets = 1
+	}
+	grad := m.GradientBytes()
+	return []CommOp{{
+		Op:         network.Allreduce,
+		Bytes:      grad / float64(buckets),
+		Count:      buckets,
+		GroupRanks: ranks,
+	}}
+}
+
+// TensorParallel is Megatron/Mesh-TensorFlow-style tensor parallelism
+// combined with data parallelism: groups of M ranks split every weight
+// tensor; activations are allreduced within the group twice per
+// transformer/conv block, and gradient shards are allreduced across the
+// data-parallel dimension. G = ranks, M = GroupSize (the paper uses M = 4).
+type TensorParallel struct {
+	// GroupSize is the model-parallel group width M (default 4).
+	GroupSize int
+}
+
+func (t TensorParallel) groupSize() int {
+	if t.GroupSize <= 0 {
+		return 4
+	}
+	return t.GroupSize
+}
+
+// Name implements Strategy.
+func (TensorParallel) Name() string { return "tensor" }
+
+// Degrees implements Strategy. Following the paper's Section 4.2.1, the
+// degree of data parallelism counts all ranks (G = x1) while M ranks
+// cooperate on each model replica.
+func (t TensorParallel) Degrees(ranks int) (float64, float64) {
+	return float64(ranks), float64(t.groupSize())
+}
+
+// ComputeFraction implements Strategy: each rank computes 1/M of the model.
+func (t TensorParallel) ComputeFraction(ranks int) float64 {
+	m := t.groupSize()
+	if ranks < m {
+		return 1
+	}
+	return 1 / float64(m)
+}
+
+// BubbleOverhead implements Strategy.
+func (TensorParallel) BubbleOverhead(int) float64 { return 0 }
+
+// StepComms implements Strategy: per-block activation allreduces inside
+// the tensor group plus the sharded gradient allreduce across groups.
+func (t TensorParallel) StepComms(m *dnn.Model, ranks, batch int) []CommOp {
+	g := t.groupSize()
+	if ranks < g {
+		return DataParallel{}.StepComms(m, ranks, batch)
+	}
+	// Activation exchange: two allreduces per compute-heavy block. The
+	// per-op payload is the mean activation size of the compute layers
+	// times the per-worker batch.
+	compute := m.ComputeLayers()
+	blocks := 0
+	var actBytes float64
+	for _, l := range compute {
+		if l.Type == dnn.Conv2D || l.Type == dnn.Dense || l.Type == dnn.DepthwiseConv2D {
+			blocks++
+			actBytes += l.ActivationBytes()
+		}
+	}
+	if blocks == 0 {
+		blocks = 1
+		actBytes = 4
+	}
+	meanAct := actBytes / float64(blocks) * float64(batch)
+
+	groups := ranks / g
+	ops := []CommOp{{
+		Op:         network.Allreduce,
+		Bytes:      meanAct,
+		Count:      2 * blocks,
+		GroupRanks: g,
+		Label:      "tensor_activation_allreduce",
+	}}
+	if groups > 1 {
+		ops = append(ops, CommOp{
+			Op:         network.Allreduce,
+			Bytes:      m.GradientBytes() / float64(g),
+			Count:      1,
+			GroupRanks: groups,
+			Label:      "gradient_allreduce",
+		})
+	}
+	return ops
+}
+
+// PipelineParallel splits the model into M sequential stages (GPipe
+// style); microbatches flow through the pipeline, activations travel
+// point-to-point between stages, and gradient shards are allreduced across
+// the data-parallel replicas of each stage. G = ranks, M = Stages.
+type PipelineParallel struct {
+	// Stages is the pipeline depth M (default 4).
+	Stages int
+	// MicroBatches is the number of microbatches per step (default 8);
+	// the pipeline bubble is (Stages−1)/MicroBatches.
+	MicroBatches int
+}
+
+func (p PipelineParallel) stages() int {
+	if p.Stages <= 0 {
+		return 4
+	}
+	return p.Stages
+}
+
+func (p PipelineParallel) microBatches() int {
+	if p.MicroBatches <= 0 {
+		return 8
+	}
+	return p.MicroBatches
+}
+
+// Name implements Strategy.
+func (PipelineParallel) Name() string { return "pipeline" }
+
+// Degrees implements Strategy.
+func (p PipelineParallel) Degrees(ranks int) (float64, float64) {
+	return float64(ranks), float64(p.stages())
+}
+
+// ComputeFraction implements Strategy: each stage computes 1/M of the
+// model.
+func (p PipelineParallel) ComputeFraction(ranks int) float64 {
+	m := p.stages()
+	if ranks < m {
+		return 1
+	}
+	return 1 / float64(m)
+}
+
+// BubbleOverhead implements Strategy: (M−1)/microbatches idle fraction.
+func (p PipelineParallel) BubbleOverhead(ranks int) float64 {
+	m := p.stages()
+	if ranks < m {
+		return 0
+	}
+	return float64(m-1) / float64(p.microBatches())
+}
+
+// StepComms implements Strategy.
+func (p PipelineParallel) StepComms(m *dnn.Model, ranks, batch int) []CommOp {
+	s := p.stages()
+	if ranks < s {
+		return DataParallel{}.StepComms(m, ranks, batch)
+	}
+	// Boundary activation size: mean activation of the model's compute
+	// layers, per microbatch.
+	compute := m.ComputeLayers()
+	var actBytes float64
+	if len(compute) > 0 {
+		for _, l := range compute {
+			actBytes += l.ActivationBytes()
+		}
+		actBytes /= float64(len(compute))
+	}
+	micro := p.microBatches()
+	microBatch := float64(batch) / float64(micro)
+	if microBatch < 1 {
+		microBatch = 1
+	}
+	ops := []CommOp{{
+		Op: network.PointToPoint,
+		// Forward and backward activation/grad transfers per microbatch.
+		Bytes:      actBytes * microBatch,
+		Count:      2 * micro,
+		GroupRanks: 2,
+		Label:      "pipeline_p2p",
+	}}
+	groups := ranks / s
+	if groups > 1 {
+		ops = append(ops, CommOp{
+			Op:         network.Allreduce,
+			Bytes:      m.GradientBytes() / float64(s),
+			Count:      1,
+			GroupRanks: groups,
+			Label:      "gradient_allreduce",
+		})
+	}
+	return ops
+}
+
+// ByName returns the strategy with the given name using the paper's
+// configuration (M = 4 for the hybrid strategies).
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "data":
+		return DataParallel{FusionBuckets: 4}, nil
+	case "tensor":
+		return TensorParallel{GroupSize: 4}, nil
+	case "pipeline":
+		return PipelineParallel{Stages: 4, MicroBatches: 8}, nil
+	case "async":
+		return AsyncDataParallel{}, nil
+	default:
+		return nil, fmt.Errorf("parallel: unknown strategy %q (have data, tensor, pipeline, async)", name)
+	}
+}
+
+// Names returns the strategy names evaluated in the paper, in its
+// presentation order. The asynchronous strategy ("async") is an extension
+// beyond the paper's three and is resolvable via ByName.
+func Names() []string { return []string{"data", "tensor", "pipeline"} }
+
+// AllNames returns every implemented strategy including the ASP extension.
+func AllNames() []string { return []string{"data", "tensor", "pipeline", "async"} }

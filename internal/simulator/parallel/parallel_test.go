@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"testing"
+
+	"extradeep/internal/simulator/dnn"
+	"extradeep/internal/simulator/network"
+)
+
+func testModel() *dnn.Model { return dnn.ResNet50(32, 32, 3, 10) }
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("zero"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestDataParallelDegrees(t *testing.T) {
+	g, m := DataParallel{}.Degrees(64)
+	if g != 64 || m != 1 {
+		t.Errorf("G,M = %v,%v; want 64,1", g, m)
+	}
+}
+
+func TestDataParallelComputeFull(t *testing.T) {
+	if (DataParallel{}).ComputeFraction(64) != 1 {
+		t.Error("data parallelism should compute the full model per rank")
+	}
+	if (DataParallel{}).BubbleOverhead(64) != 0 {
+		t.Error("data parallelism has no pipeline bubble")
+	}
+}
+
+func TestDataParallelComms(t *testing.T) {
+	m := testModel()
+	ops := DataParallel{FusionBuckets: 4}.StepComms(m, 16, 256)
+	if len(ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(ops))
+	}
+	op := ops[0]
+	if op.Op != network.Allreduce || op.Count != 4 || op.GroupRanks != 16 {
+		t.Errorf("op = %+v", op)
+	}
+	if total := op.Bytes * float64(op.Count); total != m.GradientBytes() {
+		t.Errorf("total allreduce bytes = %v, want %v", total, m.GradientBytes())
+	}
+}
+
+func TestDataParallelDefaultBucket(t *testing.T) {
+	ops := DataParallel{}.StepComms(testModel(), 4, 256)
+	if ops[0].Count != 1 {
+		t.Errorf("default buckets = %d, want 1", ops[0].Count)
+	}
+}
+
+func TestTensorParallelDegrees(t *testing.T) {
+	g, m := TensorParallel{GroupSize: 4}.Degrees(64)
+	// Paper §4.2.1: G = x1, M = 4 for the hybrid benchmarks.
+	if g != 64 || m != 4 {
+		t.Errorf("G,M = %v,%v; want 64,4", g, m)
+	}
+}
+
+func TestTensorParallelComputeFraction(t *testing.T) {
+	s := TensorParallel{GroupSize: 4}
+	if f := s.ComputeFraction(64); f != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", f)
+	}
+	// Fewer ranks than the group size: degenerate to full model.
+	if f := s.ComputeFraction(2); f != 1 {
+		t.Errorf("degenerate fraction = %v, want 1", f)
+	}
+}
+
+func TestTensorParallelComms(t *testing.T) {
+	m := testModel()
+	ops := TensorParallel{GroupSize: 4}.StepComms(m, 16, 256)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2 (activation + gradient)", len(ops))
+	}
+	act, grad := ops[0], ops[1]
+	if act.GroupRanks != 4 {
+		t.Errorf("activation group = %d, want 4", act.GroupRanks)
+	}
+	if act.Count < 2 {
+		t.Errorf("activation op count = %d, want ≥2", act.Count)
+	}
+	if grad.GroupRanks != 4 { // 16 ranks / group 4 = 4 groups
+		t.Errorf("gradient group = %d, want 4", grad.GroupRanks)
+	}
+	if grad.Bytes >= m.GradientBytes() {
+		t.Error("gradient allreduce should move a shard, not the full gradient")
+	}
+}
+
+func TestTensorParallelDegenerateFallsBack(t *testing.T) {
+	ops := TensorParallel{GroupSize: 4}.StepComms(testModel(), 2, 256)
+	if len(ops) != 1 || ops[0].Op != network.Allreduce {
+		t.Errorf("degenerate tensor parallelism should act data-parallel: %+v", ops)
+	}
+}
+
+func TestPipelineParallelDegrees(t *testing.T) {
+	g, m := PipelineParallel{Stages: 4}.Degrees(64)
+	if g != 64 || m != 4 {
+		t.Errorf("G,M = %v,%v; want 64,4", g, m)
+	}
+}
+
+func TestPipelineBubble(t *testing.T) {
+	p := PipelineParallel{Stages: 4, MicroBatches: 8}
+	if b := p.BubbleOverhead(16); b != 3.0/8 {
+		t.Errorf("bubble = %v, want 0.375", b)
+	}
+	if b := p.BubbleOverhead(2); b != 0 {
+		t.Errorf("degenerate bubble = %v, want 0", b)
+	}
+}
+
+func TestPipelineComms(t *testing.T) {
+	m := testModel()
+	ops := PipelineParallel{Stages: 4, MicroBatches: 8}.StepComms(m, 16, 256)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2 (p2p + gradient)", len(ops))
+	}
+	p2p := ops[0]
+	if p2p.Op != network.PointToPoint {
+		t.Errorf("first op = %v, want p2p", p2p.Op)
+	}
+	if p2p.Count != 16 { // 2 × 8 microbatches
+		t.Errorf("p2p count = %d, want 16", p2p.Count)
+	}
+}
+
+func TestPipelineDegenerateFallsBack(t *testing.T) {
+	ops := PipelineParallel{Stages: 4}.StepComms(testModel(), 2, 256)
+	if len(ops) != 1 || ops[0].Op != network.Allreduce {
+		t.Errorf("degenerate pipeline should act data-parallel: %+v", ops)
+	}
+}
+
+func TestHybridCommLighterGradientThanData(t *testing.T) {
+	// Hybrid strategies exchange gradient shards; the gradient portion
+	// must be smaller than pure data parallelism's full-gradient
+	// exchange.
+	m := testModel()
+	dataOps := DataParallel{}.StepComms(m, 16, 256)
+	tensorOps := TensorParallel{GroupSize: 4}.StepComms(m, 16, 256)
+	var dataGrad, tensorGrad float64
+	dataGrad = dataOps[0].Bytes * float64(dataOps[0].Count)
+	for _, op := range tensorOps {
+		if op.Label == "gradient_allreduce" {
+			tensorGrad = op.Bytes * float64(op.Count)
+		}
+	}
+	if tensorGrad >= dataGrad {
+		t.Errorf("tensor gradient traffic %v should be below data parallel %v", tensorGrad, dataGrad)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if g, m := (TensorParallel{}).Degrees(8); g != 8 || m != 4 {
+		t.Errorf("default tensor degrees = %v,%v", g, m)
+	}
+	if g, m := (PipelineParallel{}).Degrees(8); g != 8 || m != 4 {
+		t.Errorf("default pipeline degrees = %v,%v", g, m)
+	}
+	if (PipelineParallel{}).microBatches() != 8 {
+		t.Error("default microbatches wrong")
+	}
+}

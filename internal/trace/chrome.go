@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event ("catapult") format,
+// which chrome://tracing and Perfetto render as a timeline.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   string         `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the trace as a Chrome trace-event JSON array
+// so it can be opened in chrome://tracing or https://ui.perfetto.dev.
+// Events are grouped into one lane ("thread") per kernel kind; step and
+// epoch spans get their own lanes. pid labels the process (use the MPI
+// rank).
+func (t *Trace) WriteChromeTrace(w io.Writer, pid int) error {
+	events := make([]chromeEvent, 0, len(t.Events)+len(t.Steps)+len(t.Epochs))
+	for _, e := range t.Epochs {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("epoch %d", e.Index), Phase: "X",
+			TS: e.Start * 1e6, Dur: e.Duration() * 1e6,
+			PID: pid, TID: "0-epochs", Cat: "phase",
+		})
+	}
+	for _, s := range t.Steps {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s step %d", s.Phase, s.Index), Phase: "X",
+			TS: s.Start * 1e6, Dur: s.Duration() * 1e6,
+			PID: pid, TID: "1-steps", Cat: "phase",
+			Args: map[string]any{"epoch": s.Epoch},
+		})
+	}
+	for _, e := range t.Events {
+		ev := chromeEvent{
+			Name: e.Name, Phase: "X",
+			TS: e.Start * 1e6, Dur: e.Duration * 1e6,
+			PID: pid, TID: "2-" + e.Kind.String(), Cat: e.Category().String(),
+		}
+		args := map[string]any{}
+		if e.Callpath != "" {
+			args["callpath"] = e.Callpath
+		}
+		if e.Bytes > 0 {
+			args["bytes"] = e.Bytes
+		}
+		if e.Count > 1 {
+			args["count"] = e.Count
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := buildTestTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	want := len(tr.Events) + len(tr.Steps) + len(tr.Epochs)
+	if len(events) != want {
+		t.Fatalf("events = %d, want %d", len(events), want)
+	}
+	lanes := make(map[string]bool)
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("phase = %v, want X", e["ph"])
+		}
+		if int(e["pid"].(float64)) != 3 {
+			t.Errorf("pid = %v, want 3", e["pid"])
+		}
+		lanes[e["tid"].(string)] = true
+		if e["dur"].(float64) < 0 {
+			t.Error("negative duration")
+		}
+	}
+	for _, lane := range []string{"0-epochs", "1-steps", "2-cuda", "2-mpi", "2-memcpy"} {
+		if !lanes[lane] {
+			t.Errorf("lane %q missing (have %v)", lane, lanes)
+		}
+	}
+}
+
+func TestWriteChromeTraceArgs(t *testing.T) {
+	tr := buildTestTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	sawBytes := false
+	for _, e := range events {
+		if args, ok := e["args"].(map[string]any); ok {
+			if _, ok := args["bytes"]; ok {
+				sawBytes = true
+			}
+		}
+	}
+	if !sawBytes {
+		t.Error("memcpy bytes not exported")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty trace produced %d events", len(events))
+	}
+}
