@@ -1,0 +1,143 @@
+// Command edlint runs Extra-Deep's project-native static-analysis suite
+// (internal/lint) over the enclosing module and prints positioned
+// diagnostics in the conventional file:line:col format.
+//
+// Usage:
+//
+//	edlint [-run analyzers] [-list] [patterns ...]
+//
+// Patterns follow the go tool's shape relative to the current directory:
+// "./..." (the default) selects every package, "./dir/..." a subtree, and
+// "./dir" a single package. The whole module is always loaded and
+// type-checked — analysis is only *reported* for matching packages, so
+// cross-package facts stay sound.
+//
+// Exit status: 0 when clean, 1 when findings were printed, 2 on usage or
+// load errors. Findings are suppressed line-by-line with
+//
+//	//edlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"extradeep/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	runSpec := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: edlint [-run analyzers] [-list] [patterns ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := lint.Select(*runSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	filter, err := packageFilter(mod, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(mod, analyzers, filter)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "edlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// packageFilter compiles go-style directory patterns into a package
+// predicate over the loaded module.
+func packageFilter(mod *lint.Module, cwd string, patterns []string) (func(*lint.Package) bool, error) {
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	rules := make([]rule, 0, len(patterns))
+	for _, p := range patterns {
+		subtree := false
+		if p == "all" || p == "..." {
+			p = "./..."
+		}
+		if strings.HasSuffix(p, "/...") {
+			subtree = true
+			p = strings.TrimSuffix(p, "/...")
+			if p == "." || p == "" {
+				p = "."
+			}
+		}
+		dir := p
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		dir = filepath.Clean(dir)
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("edlint: bad pattern %q: %w", p, err)
+		}
+		rules = append(rules, rule{dir: dir, subtree: subtree})
+	}
+	return func(pkg *lint.Package) bool {
+		for _, r := range rules {
+			if pkg.Dir == r.dir {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(pkg.Dir, r.dir+string(filepath.Separator)) {
+				return true
+			}
+			if r.subtree && pkg.Dir == r.dir {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

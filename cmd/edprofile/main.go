@@ -87,7 +87,7 @@ func main() {
 					fatal(err)
 				}
 				if err := profiles[0].Trace.WriteChromeTrace(f, profiles[0].Rank); err != nil {
-					f.Close()
+					_ = f.Close() // best-effort: the write error is the root cause
 					fatal(err)
 				}
 				if err := f.Close(); err != nil {

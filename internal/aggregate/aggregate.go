@@ -154,9 +154,11 @@ func reduce(xs []float64, useMean bool) float64 {
 		return 0
 	}
 	if useMean {
-		return mathutil.MustMean(xs)
+		m, _ := mathutil.Mean(xs) // non-empty by the guard above
+		return m
 	}
-	return mathutil.MustMedian(xs)
+	m, _ := mathutil.Median(xs) // non-empty by the guard above
+	return m
 }
 
 // perStepSums computes step (1) of the pipeline for one trace: for every

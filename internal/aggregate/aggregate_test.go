@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"extradeep/internal/calltree"
+	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
 	"extradeep/internal/profile"
 	"extradeep/internal/trace"
@@ -88,7 +89,7 @@ func TestAggregateBasicStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agg.App != "cifar10" || agg.Point[0] != 4 {
+	if agg.App != "cifar10" || !mathutil.Close(agg.Point[0], 4) {
 		t.Errorf("identity wrong: %s %v", agg.App, agg.Point)
 	}
 	if agg.Reps != 3 {
@@ -144,11 +145,11 @@ func TestAggregateVisitsMetric(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := agg.Kernels["App->train->EigenMetaKernel"]
-	if got := k.Value[measurement.MetricVisits].Train; got != 1 {
+	if got := k.Value[measurement.MetricVisits].Train; !mathutil.Close(got, 1) {
 		t.Errorf("visits per train step = %v, want 1", got)
 	}
 	v := agg.Kernels["App->test->EigenMetaKernel"]
-	if got := v.Value[measurement.MetricVisits].Validation; got != 1 {
+	if got := v.Value[measurement.MetricVisits].Validation; !mathutil.Close(got, 1) {
 		t.Errorf("visits per validation step = %v, want 1", got)
 	}
 }
@@ -159,7 +160,7 @@ func TestAggregateBytesOnlyForMemoryOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	mem := agg.Kernels["App->train->Memcpy HtoD"]
-	if got := mem.Value[measurement.MetricBytes].Train; got != 4096 {
+	if got := mem.Value[measurement.MetricBytes].Train; !mathutil.Close(got, 4096) {
 		t.Errorf("memcpy bytes = %v, want 4096", got)
 	}
 	comp := agg.Kernels["App->train->EigenMetaKernel"]
@@ -331,7 +332,7 @@ func TestStepValueAdd(t *testing.T) {
 	a := StepValue{Train: 1, Validation: 2}
 	b := StepValue{Train: 3, Validation: 4}
 	c := a.Add(b)
-	if c.Train != 4 || c.Validation != 6 {
+	if !mathutil.Close(c.Train, 4) || !mathutil.Close(c.Validation, 6) {
 		t.Errorf("Add = %+v", c)
 	}
 }

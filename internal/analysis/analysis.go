@@ -213,8 +213,11 @@ func RankByGrowth(models map[string]*modeling.Model, baseline, reference measure
 		if fj > fi*(1+eps)+eps {
 			return false
 		}
-		if out[i].ValueAtReference != out[j].ValueAtReference {
-			return out[i].ValueAtReference > out[j].ValueAtReference
+		if out[i].ValueAtReference > out[j].ValueAtReference {
+			return true
+		}
+		if out[i].ValueAtReference < out[j].ValueAtReference {
+			return false
 		}
 		return out[i].Callpath < out[j].Callpath
 	})
@@ -255,8 +258,11 @@ func RankBySpeedup(models map[string]*modeling.Model, baseline, reference measur
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].SpeedupPct != out[j].SpeedupPct {
-			return out[i].SpeedupPct > out[j].SpeedupPct
+		if out[i].SpeedupPct > out[j].SpeedupPct {
+			return true
+		}
+		if out[i].SpeedupPct < out[j].SpeedupPct {
+			return false
 		}
 		return out[i].Callpath < out[j].Callpath
 	})

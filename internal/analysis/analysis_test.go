@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
 	"extradeep/internal/modeling"
 	"extradeep/internal/pmnf"
@@ -93,7 +94,7 @@ func TestSpeedupModelFits(t *testing.T) {
 
 func TestTheoreticalSpeedup(t *testing.T) {
 	// Quadrupling resources: Δt = (8−2)/(2/100) = 300%.
-	if got := TheoreticalSpeedup(2, 8); got != 300 {
+	if got := TheoreticalSpeedup(2, 8); !mathutil.Close(got, 300) {
 		t.Errorf("Δt = %v, want 300", got)
 	}
 	if got := TheoreticalSpeedup(2, 2); got != 0 {
@@ -107,7 +108,7 @@ func TestEfficienciesBaselineIsOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e[0] != 1 {
+	if !mathutil.Close(e[0], 1) {
 		t.Errorf("baseline efficiency = %v, want 1", e[0])
 	}
 }
@@ -172,7 +173,7 @@ func TestCostModelCustomFormula(t *testing.T) {
 		Runtime: pmnf.ConstantFunction(100),
 		Custom:  func(t, ranks float64) float64 { return t * ranks * 42 },
 	}
-	if got := cm.CoreHours(2); got != 100*2*42 {
+	if got := cm.CoreHours(2); !mathutil.Close(got, 100*2*42) {
 		t.Errorf("custom cost = %v", got)
 	}
 }
@@ -315,7 +316,7 @@ func TestMostCostEffectiveStrongScaling(t *testing.T) {
 	// (100−64)·64/3600 = 0.64 ≤ 1, so all large configs feasible; the
 	// most efficient feasible one should be the smallest feasible x
 	// (efficiency decreases with scale here).
-	if best.Ranks != 32 {
+	if !mathutil.Close(best.Ranks, 32) {
 		t.Errorf("best = %v ranks, want 32", best.Ranks)
 	}
 }
@@ -329,7 +330,7 @@ func TestMostCostEffectiveWeakScalingPicksSmallest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if best.Ranks != 2 {
+	if !mathutil.Close(best.Ranks, 2) {
 		t.Errorf("best = %v ranks, want 2", best.Ranks)
 	}
 }

@@ -3,6 +3,8 @@ package analysis
 import (
 	"math"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 func TestRecommendPointsPaperExample(t *testing.T) {
@@ -17,7 +19,7 @@ func TestRecommendPointsPaperExample(t *testing.T) {
 		t.Fatalf("points = %v", pts)
 	}
 	for i := range want {
-		if pts[i] != want[i] {
+		if !mathutil.Close(pts[i], want[i]) {
 			t.Fatalf("points = %v, want %v", pts, want)
 		}
 	}
@@ -29,11 +31,11 @@ func TestRecommendPointsGeometric(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < len(pts); i++ {
-		if pts[i] != 2*pts[i-1] {
+		if !mathutil.Close(pts[i], 2*pts[i-1]) {
 			t.Fatalf("not geometric: %v", pts)
 		}
 	}
-	if pts[len(pts)-1] != 512 { // 4096/8
+	if !mathutil.Close(pts[len(pts)-1], 512) { // 4096/8
 		t.Errorf("top point = %v, want 512", pts[len(pts)-1])
 	}
 }
@@ -75,10 +77,10 @@ func TestRecommendPointsRejectsTinyTargets(t *testing.T) {
 }
 
 func TestExtrapolationRatio(t *testing.T) {
-	if r := ExtrapolationRatio([]float64{2, 4, 6, 8, 10}, 1024); r != 102.4 {
+	if r := ExtrapolationRatio([]float64{2, 4, 6, 8, 10}, 1024); !mathutil.Close(r, 102.4) {
 		t.Errorf("ratio = %v, want 102.4 (the paper's 'unrealistic' case)", r)
 	}
-	if r := ExtrapolationRatio([]float64{8, 16, 32, 64, 128}, 1024); r != 8 {
+	if r := ExtrapolationRatio([]float64{8, 16, 32, 64, 128}, 1024); !mathutil.Close(r, 8) {
 		t.Errorf("ratio = %v, want 8 (the paper's 'possible' case)", r)
 	}
 	if r := ExtrapolationRatio(nil, 10); !math.IsInf(r, 1) {

@@ -150,7 +150,7 @@ func TestActualMedianMissing(t *testing.T) {
 	res := &CampaignResult{AppActuals: map[string]map[int][]float64{
 		"App": {4: {1, 2, 3}},
 	}}
-	if v, ok := res.ActualMedian("App", 4); !ok || v != 2 {
+	if v, ok := res.ActualMedian("App", 4); !ok || !mathutil.Close(v, 2) {
 		t.Errorf("median = %v ok=%v", v, ok)
 	}
 	if _, ok := res.ActualMedian("App", 8); ok {
@@ -165,7 +165,7 @@ func TestActualMedianEvenReps(t *testing.T) {
 	res := &CampaignResult{AppActuals: map[string]map[int][]float64{
 		"App": {4: {1, 3}},
 	}}
-	if v, _ := res.ActualMedian("App", 4); v != 2 {
+	if v, _ := res.ActualMedian("App", 4); !mathutil.Close(v, 2) {
 		t.Errorf("even median = %v, want 2", v)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"extradeep/internal/epoch"
+	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
@@ -114,12 +115,12 @@ func TestGridSetupUsesPointBatch(t *testing.T) {
 	cfg := engine.RunConfig{Strategy: parallel.DataParallel{}, WeakScaling: true}
 	setup := GridSetup(b, cfg)
 	p := setup(measurement.Point{4, 64})
-	if p.BatchSize != 64 {
+	if !mathutil.Close(p.BatchSize, 64) {
 		t.Errorf("batch = %v, want 64 (from point)", p.BatchSize)
 	}
 	// Single-coordinate points fall back to the benchmark's batch.
 	p1 := setup(measurement.Point{4})
-	if p1.BatchSize != float64(b.BatchSize) {
+	if !mathutil.Close(p1.BatchSize, float64(b.BatchSize)) {
 		t.Errorf("fallback batch = %v, want %d", p1.BatchSize, b.BatchSize)
 	}
 }

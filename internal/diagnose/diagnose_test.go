@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/profile"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
@@ -93,7 +94,7 @@ func TestCheckMissingRank(t *testing.T) {
 	// Drop rank 0 of one repetition of one configuration.
 	var subset []*profile.Profile
 	for _, p := range ps {
-		if p.Config[0] == 4 && p.Rep == 2 && p.Rank == 0 {
+		if mathutil.Close(p.Config[0], 4) && p.Rep == 2 && p.Rank == 0 {
 			continue
 		}
 		subset = append(subset, p)

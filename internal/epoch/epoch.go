@@ -53,12 +53,22 @@ func (p Params) Validate() error {
 }
 
 // TrainSteps returns the number of training steps per epoch n_t (Eq. 2).
+// Parameters that fail Validate yield 0 steps rather than a NaN-poisoned
+// count.
 func (p Params) TrainSteps() int {
+	if p.BatchSize <= 0 || p.DataParallel <= 0 || p.ModelParallel <= 0 {
+		return 0
+	}
 	return int(math.Floor(p.TrainSamples / (p.DataParallel / p.ModelParallel) / p.BatchSize))
 }
 
 // ValSteps returns the number of validation steps per epoch n_v (Eq. 3).
+// Parameters that fail Validate yield 0 steps rather than a NaN-poisoned
+// count.
 func (p Params) ValSteps() int {
+	if p.BatchSize <= 0 || p.DataParallel <= 0 || p.ModelParallel <= 0 {
+		return 0
+	}
 	return int(math.Floor(p.ValSamples / (p.DataParallel / p.ModelParallel) / p.BatchSize))
 }
 

@@ -130,8 +130,12 @@ func Baselines(seed int64, benchName string) (*BaselinesResult, error) {
 func (r *BaselinesResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== Baseline comparison: %s, weak scaling, DEEP ===\n", r.Benchmark)
+	reduction := 0.0
+	if r.ProfiledSecondsSampled > 0 {
+		reduction = r.ProfiledSecondsFull / r.ProfiledSecondsSampled
+	}
 	fmt.Fprintf(&b, "profiled execution: %.1f s (Extra-Deep sampling) vs %.1f s (full-run Extra-P style), %.1fx reduction\n\n",
-		r.ProfiledSecondsSampled, r.ProfiledSecondsFull, r.ProfiledSecondsFull/r.ProfiledSecondsSampled)
+		r.ProfiledSecondsSampled, r.ProfiledSecondsFull, reduction)
 	t := &Table{Header: []string{"ranks", "measured [s]", "Extra-Deep", "err", "full-profiling", "err", "analytical", "err"}}
 	for _, row := range r.Rows {
 		t.AddRow(fmt.Sprintf("%d", row.Ranks), secs(row.Actual),

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 // Most experiment tests run on a reduced benchmark subset to stay fast;
@@ -46,7 +48,7 @@ func TestCaseStudyAnswersQ1ToQ5(t *testing.T) {
 		t.Error("Q4 cost not positive")
 	}
 	// Q5: under weak scaling the smallest allocation wins (paper: 2).
-	if cs.Q5BestRanks != 2 {
+	if !mathutil.Close(cs.Q5BestRanks, 2) {
 		t.Errorf("Q5 = %v ranks, want 2", cs.Q5BestRanks)
 	}
 	if !strings.Contains(cs.Render(), "Q5") {

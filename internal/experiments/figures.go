@@ -464,7 +464,7 @@ func (r *Figure4bResult) Render() string {
 	t := &Table{Header: []string{"nodes", "time [s]", "cost [core-h]", "time ok", "cost ok", "efficiency", "selected"}}
 	for _, f := range r.Candidates {
 		sel := ""
-		if f.Ranks == r.Best.Ranks {
+		if int(f.Ranks) == int(r.Best.Ranks) {
 			sel = "<== most cost-effective"
 		}
 		t.AddRow(fmt.Sprintf("%.0f", f.Ranks), secs(f.Time), fmt.Sprintf("%.3f", f.Cost),

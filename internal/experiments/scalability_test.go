@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 func TestScalabilityWeak(t *testing.T) {
@@ -22,7 +24,7 @@ func TestScalabilityWeak(t *testing.T) {
 	if last.SpeedupPct >= 0 {
 		t.Errorf("weak-scaling 'speedup' = %v, want negative", last.SpeedupPct)
 	}
-	if first.Efficiency != 1 {
+	if !mathutil.Close(first.Efficiency, 1) {
 		t.Errorf("baseline efficiency = %v, want 1", first.Efficiency)
 	}
 	if last.Cost <= first.Cost {

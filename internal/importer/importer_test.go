@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"extradeep/internal/calltree"
+	"extradeep/internal/mathutil"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
@@ -40,10 +41,10 @@ func TestReadCSVBasic(t *testing.T) {
 	if p.App != "cifar10" || p.Rank != 0 || p.Rep != 1 || !p.Sampled {
 		t.Errorf("metadata wrong: %+v", p)
 	}
-	if len(p.Config) != 1 || p.Config[0] != 4 {
+	if len(p.Config) != 1 || !mathutil.Close(p.Config[0], 4) {
 		t.Errorf("config = %v", p.Config)
 	}
-	if p.WallTime != 12.5 {
+	if !mathutil.Close(p.WallTime, 12.5) {
 		t.Errorf("wall = %v", p.WallTime)
 	}
 	if len(p.Trace.Events) != 3 || len(p.Trace.Steps) != 2 || len(p.Trace.Epochs) != 1 {
@@ -53,7 +54,7 @@ func TestReadCSVBasic(t *testing.T) {
 	if p.Trace.Steps[1].Phase != trace.PhaseValidation {
 		t.Error("validation phase lost")
 	}
-	if p.Trace.Events[1].Bytes != 4096 { // sorted by start: memcpy at 0.005 is index 0
+	if !mathutil.Close(p.Trace.Events[1].Bytes, 4096) { // sorted by start: memcpy at 0.005 is index 0
 		// events sorted by start: Memcpy(0.005), Eigen(0.01), MPI(0.06)
 		t.Logf("events: %+v", p.Trace.Events)
 	}
@@ -133,6 +134,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	for i := range got.Trace.Events {
 		a, b := got.Trace.Events[i], orig.Trace.Events[i]
+		//edlint:ignore floateq round-trip comparison: re-imported events must preserve every field bit-for-bit
 		if a.Name != b.Name || a.Kind != b.Kind || a.Start != b.Start || a.Duration != b.Duration || a.Bytes != b.Bytes {
 			t.Errorf("event %d differs: %+v vs %+v", i, a, b)
 		}

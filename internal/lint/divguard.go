@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DivGuard reports divisions (and modulo) whose denominator is a function
+// parameter or a struct field with no preceding zero-check in the same
+// function. A zero denominator turns integer division into a panic and
+// float division into ±Inf/NaN, which then silently propagates through
+// every downstream aggregate and model fit.
+//
+// Scope is deliberately narrow to stay precise: only plain identifiers
+// that resolve to parameters (or receivers) and field selector
+// expressions are checked — locals are assumed to be established safe by
+// the code that computed them, and constant denominators are checked for
+// being non-zero at compile time. A "preceding zero-check" is any
+// comparison or switch over the same value earlier in the function, which
+// matches the guard-then-use style this codebase enforces. Test files are
+// exempt: they exercise author-controlled inputs.
+var DivGuard = &Analyzer{
+	Name: "divguard",
+	Doc: "reports x/y and x%y where y is a parameter or field that is " +
+		"not compared against anything earlier in the function",
+	Run: runDivGuard,
+}
+
+func runDivGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		file := file
+		if inTestFile(pass.Fset, file.Pos()) {
+			// Tests exercise author-controlled inputs; the guard-then-use
+			// discipline is a library-code contract.
+			continue
+		}
+		eachTopFunc(file, func(fn *ast.FuncDecl) {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.QUO && be.Op != token.REM) {
+					return true
+				}
+				t := pass.TypeOf(be.X)
+				if t == nil || !isNumeric(t) {
+					return true
+				}
+				den := unparen(be.Y)
+				if _, ok := constantValue(pass.Info, den); ok {
+					if isZeroConstant(pass.Info, den) {
+						pass.Reportf(be.OpPos, "division by constant zero")
+					}
+					return true
+				}
+				switch den := den.(type) {
+				case *ast.Ident:
+					obj := pass.Info.Uses[den]
+					if obj == nil {
+						return true
+					}
+					params := paramObjects(pass.Info, file, be.Pos())
+					if !params[obj] {
+						return true // locals are out of scope for this check
+					}
+					guarded := hasPriorGuard(fn, be.OpPos, func(e ast.Expr) bool {
+						return mentionsObject(pass.Info, e, obj)
+					})
+					if !guarded {
+						pass.Reportf(be.OpPos,
+							"division by parameter %q with no preceding zero-check in this function",
+							den.Name)
+					}
+				case *ast.SelectorExpr:
+					sel := pass.Info.Selections[den]
+					if sel == nil || sel.Kind() != types.FieldVal {
+						return true
+					}
+					want := types.ExprString(den)
+					guarded := hasPriorGuard(fn, be.OpPos, func(e ast.Expr) bool {
+						return mentionsExprString(e, want)
+					})
+					if !guarded {
+						pass.Reportf(be.OpPos,
+							"division by field %q with no preceding zero-check in this function",
+							want)
+					}
+				}
+				return true
+			})
+		})
+	}
+}

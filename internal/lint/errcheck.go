@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck ("errcheck-lite") reports statements that call an
+// error-returning function and drop the error on the floor. A dropped
+// error is how a truncated profile or a failed model export turns into a
+// silently wrong experiment.
+//
+// Deliberate discards stay visible and allowed: `_ = f()` documents the
+// decision. A small set of can't-fail or fail-later idioms is also exempt:
+//
+//   - fmt.Print/Printf/Println (stdout chatter; nothing sensible to do);
+//   - fmt.Fprint* to os.Stdout/os.Stderr, *strings.Builder,
+//     *bytes.Buffer, hash writers, or *bufio.Writer (the first four
+//     cannot fail; bufio errors are sticky and surface at Flush, which IS
+//     checked);
+//   - method calls on *strings.Builder, *bytes.Buffer and hash.Hash
+//     values, whose errors are documented to always be nil — except
+//     (*bufio.Writer).Flush, where the buffered errors finally surface;
+//   - `defer x.Close()` (best-effort cleanup; write paths must check
+//     Close explicitly on the success path instead of deferring it).
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "reports discarded error results from statement-position calls; " +
+		"handle the error or assign it to _ explicitly",
+	Run: runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	check := func(call *ast.CallExpr, deferred bool) {
+		if call == nil || !returnsError(pass, call) || exemptCall(pass, call, deferred) {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _",
+			calleeLabel(call))
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.GoStmt:
+				check(n.Call, false)
+			case *ast.DeferStmt:
+				check(n.Call, true)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// exemptCall implements the allowlist documented on ErrCheck.
+func exemptCall(pass *Pass, call *ast.CallExpr, deferred bool) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt functions.
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			name := sel.Sel.Name
+			switch name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && exemptWriter(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Method calls on never-fail (or fail-at-Flush) receivers.
+	if selInfo := pass.Info.Selections[sel]; selInfo != nil && selInfo.Kind() == types.MethodVal {
+		recv := selInfo.Recv()
+		if isNeverFailWriterType(recv) {
+			return true
+		}
+		if isBufioWriter(recv) && sel.Sel.Name != "Flush" {
+			return true
+		}
+	}
+	if deferred && sel.Sel.Name == "Close" {
+		return true
+	}
+	return false
+}
+
+// exemptWriter reports whether the expression is a writer whose Write
+// cannot meaningfully fail: os.Stdout/os.Stderr, strings.Builder,
+// bytes.Buffer, hash writers, or a bufio.Writer (checked at Flush).
+func exemptWriter(pass *Pass, e ast.Expr) bool {
+	e = unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	t := pass.TypeOf(e)
+	return t != nil && (isNeverFailWriterType(t) || isBufioWriter(t))
+}
+
+// isNeverFailWriterType matches *strings.Builder, *bytes.Buffer and any
+// named type from package hash (hash.Hash implementations document that
+// Write never returns an error).
+func isNeverFailWriterType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "hash" || (len(pkg) > 5 && pkg[:5] == "hash/"):
+		return true
+	}
+	return false
+}
+
+// isBufioWriter matches *bufio.Writer.
+func isBufioWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer"
+}
+
+// calleeLabel renders the callee for a diagnostic message.
+func calleeLabel(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != between floating-point operands. Exact float
+// comparison silently breaks under the rounding that pervades Extra-Deep's
+// aggregation and model-fitting arithmetic; comparisons should go through
+// mathutil.AlmostEqual (or an explicit tolerance).
+//
+// One idiom is exempt: comparing against the literal constant 0. An exact
+// zero test is the canonical guard before a division and is well-defined
+// (0.0 has an exact representation, and values that are "almost zero"
+// still divide safely). Comparisons where both sides are compile-time
+// constants are likewise exempt — they are decided at compile time, not
+// subject to runtime rounding.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "reports ==/!= on floating-point operands; compare with " +
+		"mathutil.AlmostEqual or an explicit tolerance instead " +
+		"(exact comparison against the literal 0 is exempt)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return true
+			}
+			if isZeroConstant(pass.Info, be.X) || isZeroConstant(pass.Info, be.Y) {
+				return true
+			}
+			_, cx := constantValue(pass.Info, be.X)
+			_, cy := constantValue(pass.Info, be.Y)
+			if cx && cy {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison of %s and %s; use mathutil.AlmostEqual or an explicit tolerance",
+				be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+			return true
+		})
+	}
+}

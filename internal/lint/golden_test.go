@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// TestGolden runs each analyzer over its fixture package under
+// testdata/src/ and compares the formatted diagnostics against the
+// checked-in golden file. Regenerate with:
+//
+//	go test ./internal/lint -run TestGolden -update
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name      string // fixture directory and golden file stem
+		path      string // import path the fixture is loaded under
+		analyzers []*Analyzer
+	}{
+		{"floateq", "fixture/floateq", []*Analyzer{FloatEq}},
+		{"divguard", "fixture/divguard", []*Analyzer{DivGuard}},
+		{"logdomain", "fixture/logdomain", []*Analyzer{LogDomain}},
+		// naninout only polices the numerical-core import paths, so the
+		// fixture is loaded under one of them.
+		{"naninout", "fixture/internal/mathutil", []*Analyzer{NaNInOut}},
+		{"errcheck", "fixture/errcheck", []*Analyzer{ErrCheck}},
+		{"libpanic", "fixture/libpanic", []*Analyzer{LibPanic}},
+		// The ignore fixture exercises the suppression machinery against
+		// the full default suite, so every analyzer name is "known".
+		{"ignore", "fixture/ignore", DefaultAnalyzers()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			mod, _, err := LoadDir(dir, tc.path)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			diags := Run(mod, tc.analyzers, nil)
+			var b strings.Builder
+			for _, d := range diags {
+				// Golden files must be machine-independent, so strip the
+				// absolute directory from each position.
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing %s: %v", golden, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading %s (run with -update to create it): %v", golden, err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics for %s diverge from %s\n--- got ---\n%s--- want ---\n%s",
+					tc.name, golden, got, want)
+			}
+			if !strings.Contains(got, tc.name+":") && tc.name != "ignore" {
+				t.Errorf("fixture %s produced no %s finding; every fixture must keep at least one true positive",
+					tc.name, tc.name)
+			}
+		})
+	}
+}

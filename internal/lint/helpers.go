@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isNumeric reports whether t's underlying type is any numeric kind.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// constantValue returns the compile-time constant value of e, if any.
+func constantValue(info *types.Info, e ast.Expr) (constant.Value, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return nil, false
+	}
+	return tv.Value, true
+}
+
+// isZeroConstant reports whether e is a compile-time constant equal to 0.
+func isZeroConstant(info *types.Info, e ast.Expr) bool {
+	v, ok := constantValue(info, e)
+	if !ok {
+		return false
+	}
+	return v.Kind() != constant.Unknown && constant.Sign(v) == 0 &&
+		(v.Kind() == constant.Int || v.Kind() == constant.Float)
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// usedObjects collects the variable objects referenced anywhere inside e.
+func usedObjects(info *types.Info, e ast.Expr) []types.Object {
+	var objs []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// mentionsObject reports whether any identifier inside e resolves to obj.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsExprString reports whether e contains a subexpression whose
+// types.ExprString rendering equals want (used to match field selectors
+// like c.InterBandwidth across occurrences).
+func mentionsExprString(e ast.Expr, want string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok && types.ExprString(sub) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// comparisonOps are the binary operators that constitute a value guard.
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.GTR: true,
+	token.LEQ: true, token.GEQ: true,
+}
+
+// hasPriorGuard reports whether fn contains, at a position before `before`,
+// a comparison (or switch tag) over an expression satisfying `matches`.
+// This is a deliberately coarse stand-in for dominator analysis: it asks
+// "did this function compare the value against anything at all before
+// using it dangerously?", which in straight-line guard-then-use code —
+// the only style this repository permits — coincides with dominance,
+// while keeping the analyzer dependency-free and fast. Guards placed
+// after the use, or in a different function, do not count.
+func hasPriorGuard(fn ast.Node, before token.Pos, matches func(ast.Expr) bool) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Pos() < before && comparisonOps[n.Op] && (matches(n.X) || matches(n.Y)) {
+				found = true
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && n.Pos() < before && matches(n.Tag) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// eachTopFunc invokes fn for every top-level function declaration with a
+// body. Nested function literals are deliberately NOT separate units:
+// guard-style analyzers walk the whole declaration, so a guard in the
+// enclosing function protects a use inside a closure (a closure captures
+// the already-validated locals), and each expression is visited exactly
+// once.
+func eachTopFunc(file *ast.File, fn func(*ast.FuncDecl)) {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}
+
+// paramObjects returns the objects bound to the parameters and receiver of
+// the function declarations/literals lexically enclosing pos in file.
+func paramObjects(info *types.Info, file *ast.File, pos token.Pos) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			addFields(n.Recv)
+			addFields(n.Type.Params)
+		case *ast.FuncLit:
+			addFields(n.Type.Params)
+		}
+		return true
+	})
+	return objs
+}
+
+// isMathCall reports whether call invokes math.<name> and returns its
+// arguments when it does.
+func isMathCall(info *types.Info, call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgID, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "math" {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// inTestFile reports whether pos lies in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LibPanic reports panic calls in library code. Extra-Deep's packages are
+// embedded in long-running services and batch pipelines; a panic in a leaf
+// numeric routine tears down an entire modeling run that an error return
+// would have degraded gracefully. Panics remain acceptable in package
+// main (top-level CLIs may crash on programmer error) and in test files
+// (the testing runner converts them into failures).
+var LibPanic = &Analyzer{
+	Name: "libpanic",
+	Doc: "reports panic(...) in non-main, non-test library code; return " +
+		"an error instead",
+	Run: runLibPanic,
+}
+
+func runLibPanic(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := pass.Info.Uses[id].(*types.Builtin); !ok || obj.Name() != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code; return an error so callers can degrade gracefully")
+			return true
+		})
+	}
+}

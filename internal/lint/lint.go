@@ -1,0 +1,143 @@
+// Package lint is Extra-Deep's project-native static-analysis framework
+// ("edlint"). It parses and type-checks the whole module with nothing but
+// the standard library (go/parser, go/ast, go/types) and runs a suite of
+// analyzers tuned to the failure modes that silently corrupt empirical
+// performance models: float equality, unguarded divisions, logarithm
+// domain errors, NaN/Inf escaping exported numeric APIs, discarded errors,
+// and panics in library code.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis at a
+// fraction of its surface: an Analyzer is a named Run function over a Pass,
+// a Pass wraps one type-checked package, and diagnostics carry positions.
+// Findings can be suppressed line-by-line with
+//
+//	//edlint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it; the reason
+// is mandatory and malformed directives are themselves diagnostics.
+//
+// Tier-1 enforcement lives in selfcheck_test.go, which loads the
+// surrounding module and fails `go test ./...` on any finding, so the
+// repository can never regress below a clean lint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one positioned finding of one analyzer.
+type Diagnostic struct {
+	// Pos is the resolved source position of the finding.
+	Pos token.Position
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the finding and, where possible, the fix.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the Pass's package and reports findings via Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	// Analyzer is the pass's analyzer.
+	Analyzer *Analyzer
+	// Fset resolves token positions for the package's files.
+	Fset *token.FileSet
+	// Files are the package's parsed files (with comments).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression/object maps.
+	Info *types.Info
+	// Path is the package's import path; analysis units that include
+	// test files keep the import path of the package under test.
+	Path string
+	// IsTestUnit reports whether the unit contains _test.go files.
+	IsTestUnit bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run executes the analyzers over every analysis unit of the module whose
+// package passes the filter (a nil filter selects everything), applies
+// //edlint:ignore suppression, and returns the surviving diagnostics in
+// deterministic (position, analyzer) order. Malformed ignore directives
+// are reported as "ignore" diagnostics.
+func Run(mod *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagnostic {
+	// Directives are validated against the whole default suite, not just the
+	// analyzers selected for this run: an //edlint:ignore logdomain directive
+	// is well-formed even when only floateq is running.
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		if filter != nil && !filter(pkg) {
+			continue
+		}
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       mod.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Path:       pkg.Path,
+				IsTestUnit: pkg.IsTest,
+				diags:      &diags,
+			}
+			a.Run(pass)
+		}
+		dirs, malformed := collectDirectives(mod.Fset, pkg.Files, known)
+		all = append(all, suppress(diags, dirs)...)
+		all = append(all, malformed...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}

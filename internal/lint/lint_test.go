@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModuleRoot(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("returned root %s has no go.mod: %v", root, err)
+	}
+	// Walking up from a nested directory must land on the same root.
+	nested, err := FindModuleRoot(filepath.Join("testdata", "src", "floateq"))
+	if err != nil {
+		t.Fatalf("FindModuleRoot(nested): %v", err)
+	}
+	if nested != root {
+		t.Errorf("nested lookup found %s, want %s", nested, root)
+	}
+}
+
+func TestFindModuleRootMissing(t *testing.T) {
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Error("expected an error for a directory tree without go.mod")
+	}
+}
+
+func TestModulePath(t *testing.T) {
+	dir := t.TempDir()
+	gomod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(gomod, []byte("module example.com/m\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := modulePath(gomod)
+	if err != nil {
+		t.Fatalf("modulePath: %v", err)
+	}
+	if got != "example.com/m" {
+		t.Errorf("modulePath = %q, want example.com/m", got)
+	}
+	if err := os.WriteFile(gomod, []byte("go 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modulePath(gomod); err == nil {
+		t.Error("expected an error for a go.mod without a module directive")
+	}
+}
+
+func TestLoadDirRejectsEmptyDir(t *testing.T) {
+	if _, _, err := LoadDir(t.TempDir(), "fixture/empty"); err == nil {
+		t.Error("expected an error for a directory without Go files")
+	}
+}
+
+func TestLoadDirRejectsTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDir(dir, "fixture/broken"); err == nil {
+		t.Error("expected a type error to fail the load")
+	}
+}
+
+// parseOne parses src as a single in-memory file for directive tests.
+func parseOne(t *testing.T, fset *token.FileSet, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, "dir_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestCollectDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	//edlint:ignore floateq a documented reason
+	_ = 1
+	//edlint:ignore floateq
+	_ = 2
+	//edlint:ignore
+	_ = 3
+	//edlint:ignore bogus some reason
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	f := parseOne(t, fset, src)
+	known := map[string]bool{"floateq": true}
+	dirs, malformed := collectDirectives(fset, []*ast.File{f}, known)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d well-formed directives, want 1: %+v", len(dirs), dirs)
+	}
+	if dirs[0].analyzer != "floateq" || dirs[0].line != 4 {
+		t.Errorf("directive = %+v, want floateq at line 4", dirs[0])
+	}
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(malformed), malformed)
+	}
+	wants := []string{"without a reason", "malformed directive", "unknown analyzer bogus"}
+	for i, w := range wants {
+		if !strings.Contains(malformed[i].Message, w) {
+			t.Errorf("malformed[%d] = %q, want it to mention %q", i, malformed[i].Message, w)
+		}
+	}
+}
+
+func TestSuppressCoversLineAndLineBelow(t *testing.T) {
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "f.go", Line: line, Column: 1},
+			Analyzer: analyzer,
+			Message:  "m",
+		}
+	}
+	dirs := []directive{{analyzer: "floateq", file: "f.go", line: 10}}
+	diags := []Diagnostic{
+		mk(10, "floateq"),  // same line: suppressed
+		mk(11, "floateq"),  // line below: suppressed
+		mk(12, "floateq"),  // two lines below: kept
+		mk(11, "divguard"), // other analyzer: kept
+	}
+	kept := suppress(diags, dirs)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Pos.Line != 12 || kept[1].Analyzer != "divguard" {
+		t.Errorf("unexpected survivors: %v", kept)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "floateq",
+		Message:  "exact comparison",
+	}
+	want := "x.go:3:7: floateq: exact comparison"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil {
+		t.Fatalf("Select(\"\"): %v", err)
+	}
+	if len(all) != len(DefaultAnalyzers()) {
+		t.Errorf("empty spec selected %d analyzers, want the full suite of %d", len(all), len(DefaultAnalyzers()))
+	}
+	two, err := Select("floateq,libpanic")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "libpanic" {
+		t.Errorf("Select(floateq,libpanic) = %v", names(two))
+	}
+	if _, err := Select("nosuch"); err == nil {
+		t.Error("expected an error for an unknown analyzer name")
+	}
+}
+
+func names(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

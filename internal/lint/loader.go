@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analysis unit: a type-checked package plus the parsed
+// files the diagnostics refer to. Packages that have in-package test files
+// are loaded twice internally — once without tests (for importers) and once
+// with — but only the richer variant is surfaced as an analysis unit, so
+// every file is analyzed exactly once. External test packages (package
+// foo_test) form their own unit with the "_test" path suffix.
+type Package struct {
+	// Path is the import path ("extradeep/internal/pmnf"); external test
+	// packages carry a "_test" suffix.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files are the unit's parsed files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's maps for the unit's files.
+	Info *types.Info
+	// IsTest reports whether the unit includes _test.go files.
+	IsTest bool
+}
+
+// Module is a fully loaded and type-checked Go module.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset is the shared file set of every parsed file.
+	Fset *token.FileSet
+	// Pkgs are the analysis units in deterministic (path) order.
+	Pkgs []*Package
+}
+
+// dirEntry is one source directory of the module, split into the file
+// groups Go's build model distinguishes.
+type dirEntry struct {
+	dir     string // absolute
+	path    string // import path
+	plain   []*ast.File
+	inTest  []*ast.File // _test.go, same package name
+	extTest []*ast.File // _test.go, package name + "_test"
+	pkgName string
+}
+
+// loader resolves and type-checks packages on demand, memoizing results.
+type loader struct {
+	fset    *token.FileSet
+	dirs    map[string]*dirEntry // import path → entry
+	plain   map[string]*types.Package
+	loading map[string]bool
+	std     types.Importer
+	errs    []error
+}
+
+// LoadModule parses and type-checks every package of the module rooted at
+// root (the directory containing go.mod), including test files, and
+// returns the analysis units. Standard-library dependencies are resolved
+// from source via go/importer, so no toolchain invocation or third-party
+// dependency is needed. Type-check errors anywhere in the module fail the
+// load: analyzers only ever see well-typed code.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		dirs:    make(map[string]*dirEntry),
+		plain:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	if err := ld.scan(root, modPath); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, path := range paths {
+		e := ld.dirs[path]
+		// Unit 1: the package itself, with in-package tests when present.
+		files := append(append([]*ast.File(nil), e.plain...), e.inTest...)
+		if len(files) > 0 {
+			info := newInfo()
+			tpkg, err := ld.check(path, files, info)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", path, err)
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path:   path,
+				Dir:    e.dir,
+				Files:  files,
+				Types:  tpkg,
+				Info:   info,
+				IsTest: len(e.inTest) > 0,
+			})
+		}
+		// Unit 2: the external test package, if any.
+		if len(e.extTest) > 0 {
+			info := newInfo()
+			tpkg, err := ld.check(path+"_test", e.extTest, info)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s_test: %w", path, err)
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path:   path + "_test",
+				Dir:    e.dir,
+				Files:  e.extTest,
+				Types:  tpkg,
+				Info:   info,
+				IsTest: true,
+			})
+		}
+	}
+	return mod, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as a package
+// with the given import path, resolving imports against the standard
+// library only. It exists for fixture tests, whose packages live under
+// testdata/ and are therefore invisible to LoadModule.
+func LoadDir(dir, path string) (*Module, *Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	files, _, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	ld := &loader{
+		fset:  fset,
+		dirs:  map[string]*dirEntry{},
+		plain: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+	info := newInfo()
+	tpkg, err := ld.check(path, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	mod := &Module{Root: dir, Path: path, Fset: fset, Pkgs: []*Package{pkg}}
+	return mod, pkg, nil
+}
+
+// scan walks the module tree and parses every source directory. Hidden
+// directories, vendor/ and testdata/ trees are skipped, matching the go
+// tool's build ignore rules.
+func (ld *loader) scan(root, modPath string) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "vendor" || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, pkgName, perr := parseDir(ld.fset, p)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, p)
+		if rerr != nil {
+			return rerr
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		e := &dirEntry{dir: p, path: path, pkgName: pkgName}
+		for _, f := range files {
+			fname := ld.fset.Position(f.Package).Filename
+			switch {
+			case !strings.HasSuffix(fname, "_test.go"):
+				e.plain = append(e.plain, f)
+			case strings.HasSuffix(f.Name.Name, "_test"):
+				e.extTest = append(e.extTest, f)
+			default:
+				e.inTest = append(e.inTest, f)
+			}
+		}
+		ld.dirs[path] = e
+		return nil
+	})
+}
+
+// parseDir parses every .go file of one directory (without recursing) and
+// returns the files in name order plus the non-test package name.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", err
+		}
+		files = append(files, f)
+		if !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+	}
+	return files, pkgName, nil
+}
+
+// Import resolves an import path: module-internal packages are
+// type-checked from the scanned sources (memoized, cycle-checked), and
+// everything else is delegated to the standard-library source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	e, ok := ld.dirs[path]
+	if !ok {
+		return ld.std.Import(path)
+	}
+	if pkg, ok := ld.plain[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+	pkg, err := ld.check(path, e.plain, newInfo())
+	if err != nil {
+		return nil, err
+	}
+	ld.plain[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one file set as the package at path.
+func (ld *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type errors: %v", errs[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// newInfo allocates the full set of type-checker maps the analyzers use.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// a go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

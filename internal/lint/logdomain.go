@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LogDomain reports calls to math.Log, math.Log2, math.Log10, math.Sqrt
+// and math.Pow whose argument is not visibly inside the function's domain.
+// A non-positive log argument or a negative sqrt/pow base yields NaN, the
+// exact class of silent corruption that invalidates a PMNF fit without
+// any error surfacing.
+//
+// A call is accepted when:
+//   - the argument is a compile-time constant inside the domain;
+//   - the argument is structurally non-negative (math.Abs(...), x*x, or a
+//     len(...) conversion) — for Sqrt, where non-negativity suffices;
+//   - some value used by the argument was compared against anything
+//     earlier in the function (the guard-then-use idiom); or
+//   - for Pow, the exponent is an integer constant (negative bases are
+//     well-defined for integer exponents).
+//
+// Test files are exempt: they feed known in-domain constants.
+var LogDomain = &Analyzer{
+	Name: "logdomain",
+	Doc: "reports math.Log/Log2/Log10/Sqrt/Pow calls whose argument has " +
+		"no positivity guard earlier in the function",
+	Run: runLogDomain,
+}
+
+func runLogDomain(pass *Pass) {
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			// Tests feed known in-domain constants; the guard discipline
+			// is a library-code contract.
+			continue
+		}
+		eachTopFunc(file, func(fn *ast.FuncDecl) {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := isMathCall(pass.Info, call, "Log", "Log2", "Log10", "Sqrt", "Pow")
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				arg := unparen(call.Args[0])
+				if name == "Pow" {
+					if len(call.Args) < 2 {
+						return true
+					}
+					// Integer exponents are total for any base.
+					if v, ok := constantValue(pass.Info, call.Args[1]); ok {
+						if constant.ToInt(v).Kind() == constant.Int {
+							return true
+						}
+					}
+				}
+				if v, ok := constantValue(pass.Info, arg); ok {
+					f, _ := constant.Float64Val(constant.ToFloat(v))
+					inDomain := f > 0 || ((name == "Sqrt" || name == "Pow") && f == 0)
+					if !inDomain {
+						pass.Reportf(call.Pos(), "math.%s of constant %v is outside the domain", name, v)
+					}
+					return true
+				}
+				if structurallyNonNegative(pass, arg) && name != "Log" && name != "Log2" && name != "Log10" {
+					return true
+				}
+				objs := usedObjects(pass.Info, arg)
+				for _, obj := range objs {
+					obj := obj
+					if hasPriorGuard(fn, call.Pos(), func(e ast.Expr) bool {
+						return mentionsObject(pass.Info, e, obj)
+					}) {
+						return true
+					}
+				}
+				pass.Reportf(call.Pos(),
+					"math.%s without a domain guard on its argument earlier in this function; out-of-domain input yields NaN",
+					name)
+				return true
+			})
+		})
+	}
+}
+
+// structurallyNonNegative recognizes argument shapes that cannot be
+// negative: math.Abs(...), x*x with identical operands, len/cap
+// conversions, and unary plus thereof.
+func structurallyNonNegative(pass *Pass, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		if _, ok := isMathCall(pass.Info, e, "Abs"); ok {
+			return true
+		}
+		// Conversions like float64(len(xs)).
+		if len(e.Args) == 1 {
+			if inner, ok := unparen(e.Args[0]).(*ast.CallExpr); ok {
+				if id, ok := unparen(inner.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+					return true
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.MUL && astExprEqual(e.X, e.Y) {
+			return true
+		}
+	}
+	return false
+}
+
+// astExprEqual reports whether two expressions render identically.
+func astExprEqual(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// nanPolicedPackages are the numerical-core packages whose exported API
+// must not leak unchecked NaN/Inf: everything downstream (model selection,
+// ranking, reporting) consumes their outputs without re-validating them.
+var nanPolicedPackages = []string{
+	"internal/pmnf",
+	"internal/modeling",
+	"internal/epoch",
+	"internal/aggregate",
+	"internal/mathutil",
+}
+
+// NaNInOut polices the NaN contract of the numerical core. In the policed
+// packages, an exported function whose results include a float (or float
+// slice) must satisfy one of:
+//
+//   - it also returns an ok/error result, pushing the domain decision to
+//     the caller;
+//   - its body contains no NaN-capable arithmetic (no float division, no
+//     math domain call), so it cannot invent a NaN; or
+//   - its body explicitly engages with the NaN domain — calling
+//     math.IsNaN/math.IsInf to check, or math.NaN/math.Inf to implement a
+//     documented sentinel convention.
+//
+// Everything else can return an unchecked NaN/Inf that silently corrupts
+// every downstream aggregate, and is reported.
+var NaNInOut = &Analyzer{
+	Name: "naninout",
+	Doc: "reports exported float-returning functions in the numerical core " +
+		"(pmnf, modeling, epoch, aggregate, mathutil) that contain " +
+		"NaN-capable arithmetic but neither return an ok/error nor " +
+		"check with math.IsNaN/IsInf",
+	Run: runNaNInOut,
+}
+
+func runNaNInOut(pass *Pass) {
+	path := strings.TrimSuffix(pass.Path, "_test")
+	policed := false
+	for _, p := range nanPolicedPackages {
+		if strings.HasSuffix(path, p) {
+			policed = true
+			break
+		}
+	}
+	if !policed {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if inTestFile(pass.Fset, fd.Pos()) {
+				continue // test helpers are not API
+			}
+			if !returnsUncheckedFloat(pass, fd.Type.Results) {
+				continue
+			}
+			if op := firstNaNCapableOp(pass, fd.Body); op != "" && !handlesNaN(pass, fd.Body) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s returns a float computed with %s but neither returns an ok/error nor checks math.IsNaN/IsInf; callers cannot detect a poisoned result",
+					fd.Name.Name, op)
+			}
+		}
+	}
+}
+
+// returnsUncheckedFloat reports whether the result list contains a float
+// or float-slice result and no trailing bool/error escape hatch.
+func returnsUncheckedFloat(pass *Pass, results *ast.FieldList) bool {
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	hasFloat := false
+	for _, f := range results.List {
+		t := pass.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if isFloat(t) {
+			hasFloat = true
+		} else if sl, ok := t.Underlying().(*types.Slice); ok && isFloat(sl.Elem()) {
+			hasFloat = true
+		}
+		switch {
+		case types.Identical(t, types.Universe.Lookup("error").Type()):
+			return false
+		case t.Underlying() == types.Typ[types.Bool]:
+			return false
+		}
+	}
+	return hasFloat
+}
+
+// firstNaNCapableOp returns a description of the first operation in body
+// that can produce NaN/Inf from finite inputs, or "" when there is none.
+func firstNaNCapableOp(pass *Pass, body *ast.BlockStmt) string {
+	op := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO {
+				if t := pass.TypeOf(n.X); t != nil && isFloat(t) {
+					op = "a float division"
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := isMathCall(pass.Info, n, "Log", "Log2", "Log10", "Sqrt", "Pow"); ok {
+				op = "math." + name
+			}
+		}
+		return op == ""
+	})
+	return op
+}
+
+// handlesNaN reports whether body engages with the NaN domain explicitly.
+func handlesNaN(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := isMathCall(pass.Info, call, "IsNaN", "IsInf", "NaN", "Inf"); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

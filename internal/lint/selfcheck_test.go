@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestSelfCheck is the tier-1 enforcement point: it loads the surrounding
+// module and runs the full default analyzer suite over every package,
+// including tests. Any finding fails `go test ./...`, so the repository
+// cannot regress below a clean `go run ./cmd/edlint ./...`.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(mod, DefaultAnalyzers(), nil)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d findings; fix them or suppress with //edlint:ignore <analyzer> <reason>", len(diags))
+	}
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full syntax is
+//
+//	//edlint:ignore <analyzer> <reason>
+//
+// and the directive silences findings of <analyzer> on its own line and on
+// the line directly below it, so it works both as a trailing comment and
+// as a standalone comment above the offending statement. The reason is
+// mandatory: a suppression that cannot say why it exists is itself a bug.
+const ignorePrefix = "edlint:ignore"
+
+// directive is one parsed ignore directive.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// collectDirectives parses every //edlint:ignore directive of the files.
+// Malformed directives (missing analyzer, missing reason, or naming an
+// analyzer that does not exist) are returned as diagnostics so they fail
+// the lint instead of silently suppressing nothing.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "malformed directive: want //edlint:ignore <analyzer> <reason>",
+					})
+					continue
+				case len(fields) < 2:
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "suppression of " + fields[0] + " without a reason; append one",
+					})
+					continue
+				case len(known) > 0 && !known[fields[0]]:
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "unknown analyzer " + fields[0] + " in ignore directive",
+					})
+					continue
+				}
+				dirs = append(dirs, directive{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// suppress drops diagnostics covered by a directive: same file, same
+// analyzer, and on the directive's line or the line directly below it.
+func suppress(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(dirs))
+	for _, d := range dirs {
+		covered[key{d.file, d.line, d.analyzer}] = true
+		covered[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

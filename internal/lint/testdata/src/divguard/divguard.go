@@ -1,0 +1,61 @@
+// Package divguard is a fixture for the divguard analyzer: division by an
+// unguarded parameter or field is a finding; guarded and local
+// denominators are not.
+package divguard
+
+type scale struct {
+	Factor float64
+	Count  int
+}
+
+func byParam(a, b float64) float64 {
+	return a / b // want: parameter with no preceding zero-check
+}
+
+func byIntParam(a, n int) int {
+	return a % n // want: modulo by unguarded parameter
+}
+
+func byField(a float64, s scale) float64 {
+	return a / s.Factor // want: field with no preceding zero-check
+}
+
+func guardedParam(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b // ok: dominated by the zero-check above
+}
+
+func guardedField(a float64, s scale) float64 {
+	if s.Factor <= 0 {
+		return 0
+	}
+	return a / s.Factor // ok: dominated by the positivity check above
+}
+
+func switchGuard(a int, s scale) int {
+	switch {
+	case s.Count < 1:
+		return 0
+	}
+	return a / s.Count // ok: switch compares the field first
+}
+
+func localDenominator(a float64) float64 {
+	b := a + 1
+	return a / b // ok: locals are assumed established safe
+}
+
+func constDenominator(a float64) float64 {
+	return a / 2 // ok: non-zero constant
+}
+
+func guardInsideClosure(a, b float64) func() float64 {
+	if b == 0 {
+		return func() float64 { return 0 }
+	}
+	return func() float64 {
+		return a / b // ok: the enclosing function guards b
+	}
+}

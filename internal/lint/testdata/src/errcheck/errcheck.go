@@ -1,0 +1,47 @@
+// Package errcheck is a fixture for the errcheck analyzer: discarded
+// errors in statement position are findings; documented never-fail idioms
+// and explicit discards are not.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func dropped() {
+	work() // want: error discarded
+}
+
+func droppedGo() {
+	go work() // want: error discarded in go statement
+}
+
+func explicitDiscard() {
+	_ = work() // ok: the discard is visible
+}
+
+func handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // ok: best-effort cleanup
+}
+
+func neverFailWriters(b *strings.Builder) {
+	fmt.Println("stdout chatter")      // ok: fmt.Print* is exempt
+	fmt.Fprintf(b, "x=%d", 1)          // ok: strings.Builder cannot fail
+	fmt.Fprintln(os.Stderr, "warning") // ok: stderr writes are exempt
+	b.WriteString("tail")              // ok: never-fail method
+}
+
+func fallibleWriter(f *os.File) {
+	fmt.Fprintf(f, "x=%d", 1) // want: file writes can fail
+}

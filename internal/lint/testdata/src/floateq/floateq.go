@@ -1,0 +1,42 @@
+// Package floateq is a fixture for the floateq analyzer: exact float
+// comparisons are findings, zero-literal guards and constant folds are not.
+package floateq
+
+func equal(a, b float64) bool {
+	return a == b // want: exact comparison
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want: exact comparison
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want: float operand
+}
+
+func zeroGuard(a float64) bool {
+	return a == 0 // ok: the canonical pre-division guard
+}
+
+func zeroGuardFlipped(a float64) bool {
+	return 0 != a // ok: zero literal on the left
+}
+
+func constFold() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.3 // ok: both sides are compile-time constants
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: not floating point
+}
+
+func suppressed(a, b float64) bool {
+	//edlint:ignore floateq fixture: sanctioned exact comparison with a reason
+	return a == b // ok: suppressed by the directive above
+}
+
+func trailing(a, b float64) bool {
+	return a == b //edlint:ignore floateq fixture: trailing-comment form
+}

@@ -1,0 +1,10 @@
+package libpanic
+
+// mustPositive panics, but lives in a test file: the testing runner turns
+// panics into failures, so libpanic exempts it.
+func mustPositive(x int) int {
+	if x < 0 {
+		panic("negative input") // ok: test files are exempt
+	}
+	return x
+}

@@ -1,0 +1,27 @@
+// Package libpanic is a fixture for the libpanic analyzer: panic in
+// library code is a finding; the error-return shape is the fix.
+package libpanic
+
+import "errors"
+
+// Bad tears down the whole process on invalid input.
+func Bad(x int) int {
+	if x < 0 {
+		panic("negative input") // want: panic in library code
+	}
+	return x
+}
+
+// Good lets the caller degrade gracefully.
+func Good(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x, nil
+}
+
+// shadowed calls a local function named panic, not the builtin.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin") // ok: resolves to the local closure
+}

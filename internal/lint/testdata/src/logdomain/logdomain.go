@@ -1,0 +1,60 @@
+// Package logdomain is a fixture for the logdomain analyzer: math domain
+// calls need an in-domain constant, a structural guarantee, or a prior
+// guard on some value the argument uses.
+package logdomain
+
+import "math"
+
+func unguardedLog(x float64) float64 {
+	return math.Log(x) // want: no domain guard
+}
+
+func unguardedSqrt(x float64) float64 {
+	return math.Sqrt(x) // want: no domain guard
+}
+
+func outOfDomainConstant() float64 {
+	return math.Log(-1) // want: constant outside the domain
+}
+
+func guarded(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x) // ok: positivity guard above
+}
+
+func inDomainConstant() float64 {
+	return math.Log2(8) // ok: constant inside the domain
+}
+
+func sqrtZeroConstant() float64 {
+	return math.Sqrt(0) // ok: zero is in sqrt's domain
+}
+
+func structural(x float64) float64 {
+	return math.Sqrt(x * x) // ok: a square cannot be negative
+}
+
+func absolute(x float64) float64 {
+	return math.Sqrt(math.Abs(x)) // ok: math.Abs is non-negative
+}
+
+func lengthConversion(xs []float64) float64 {
+	return math.Sqrt(float64(len(xs))) // ok: len is non-negative
+}
+
+func intExponent(x float64) float64 {
+	return math.Pow(x, 3) // ok: integer exponents are total
+}
+
+func fractionalExponent(x float64) float64 {
+	return math.Pow(x, 0.5) // want: fractional exponent, unguarded base
+}
+
+func guardedPow(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Pow(x, 2.0/3.0) // ok: sign check above
+}

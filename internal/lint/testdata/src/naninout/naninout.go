@@ -1,0 +1,56 @@
+// Package naninout is a fixture for the naninout analyzer. The fixture is
+// loaded under an import path ending in internal/mathutil, one of the
+// NaN-policed packages: exported float-returning functions with NaN-capable
+// arithmetic must return an ok/error or engage with the NaN domain.
+package naninout
+
+import "math"
+
+// BadMean divides by a parameter and hands the raw float to the caller.
+func BadMean(sum, n float64) float64 {
+	return sum / n // want: unchecked float division escapes
+}
+
+// BadLog wraps a math domain call without checking the result.
+func BadLog(x float64) float64 {
+	return math.Log(x) * 2 // want: unchecked domain call escapes
+}
+
+// GoodOK pushes the domain decision to the caller via the ok result.
+func GoodOK(sum, n float64) (float64, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	return sum / n, true
+}
+
+// GoodChecked engages with the NaN domain explicitly.
+func GoodChecked(x float64) float64 {
+	v := math.Log(x)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// GoodSentinel implements a documented NaN-sentinel convention.
+func GoodSentinel(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(x)
+}
+
+// Total contains no NaN-capable arithmetic at all.
+func Total(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// unexported helpers are not API and are out of scope.
+func half(x float64) float64 {
+	return x / 2
+}

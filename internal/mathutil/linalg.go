@@ -146,8 +146,10 @@ func NormalQuantile(q float64) float64 {
 	switch {
 	case math.IsNaN(q) || q < 0 || q > 1:
 		return math.NaN()
+	//edlint:ignore floateq the distribution's support endpoints are the exact values 0 and 1; nearby q must map to finite quantiles
 	case q == 0:
 		return math.Inf(-1)
+	//edlint:ignore floateq the distribution's support endpoints are the exact values 0 and 1; nearby q must map to finite quantiles
 	case q == 1:
 		return math.Inf(1)
 	}
@@ -193,6 +195,7 @@ func StudentTQuantile(q float64, df int) float64 {
 	if df == 2 {
 		// Exact closed form for df = 2.
 		alpha := 2*q - 1
+		//edlint:ignore logdomain alpha = 2q-1 lies in (-1,1) by the q-range guard above, so 1-alpha² > 0
 		return alpha * math.Sqrt(2/(1-alpha*alpha))
 	}
 	z := NormalQuantile(q)

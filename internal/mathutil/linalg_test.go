@@ -14,7 +14,7 @@ func TestSolveLinearSystem2x2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+	if !AlmostEqual(x[0], 1, 1e-10) || !AlmostEqual(x[1], 3, 1e-10) {
 		t.Errorf("x = %v, want [1 3]", x)
 	}
 }
@@ -27,7 +27,7 @@ func TestSolveLinearSystemIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range b {
-		if !almostEqual(x[i], b[i], 1e-12) {
+		if !AlmostEqual(x[i], b[i], 1e-12) {
 			t.Errorf("x[%d] = %v, want %v", i, x[i], b[i])
 		}
 	}
@@ -49,7 +49,7 @@ func TestSolveLinearSystemNeedsPivoting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+	if !AlmostEqual(x[0], 3, 1e-12) || !AlmostEqual(x[1], 2, 1e-12) {
 		t.Errorf("x = %v, want [3 2]", x)
 	}
 }
@@ -72,6 +72,7 @@ func TestSolveLinearSystemDoesNotMutate(t *testing.T) {
 	if _, err := SolveLinearSystem(a, b); err != nil {
 		t.Fatal(err)
 	}
+	//edlint:ignore floateq mutation check: the inputs must be bit-identical, not merely close
 	if a[0][0] != 2 || a[1][1] != 3 || b[0] != 5 {
 		t.Error("SolveLinearSystem mutated its inputs")
 	}
@@ -105,7 +106,7 @@ func TestSolveLinearSystemRoundTripProperty(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for i := range x {
-			if !almostEqual(x[i], x0[i], 1e-6*(1+math.Abs(x0[i]))) {
+			if !AlmostEqual(x[i], x0[i], 1e-6*(1+math.Abs(x0[i]))) {
 				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], x0[i])
 			}
 		}
@@ -120,7 +121,7 @@ func TestLeastSquaresExactLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(c[0], 3, 1e-9) || !almostEqual(c[1], 2, 1e-9) {
+	if !AlmostEqual(c[0], 3, 1e-9) || !AlmostEqual(c[1], 2, 1e-9) {
 		t.Errorf("coefficients = %v, want [3 2]", c)
 	}
 }
@@ -140,7 +141,7 @@ func TestLeastSquaresOverdetermined(t *testing.T) {
 	}
 	want := []float64{1, 0.5, 0.25}
 	for i := range want {
-		if !almostEqual(c[i], want[i], 1e-7) {
+		if !AlmostEqual(c[i], want[i], 1e-7) {
 			t.Errorf("c[%d] = %v, want %v", i, c[i], want[i])
 		}
 	}
@@ -205,7 +206,7 @@ func TestNormalQuantileKnownValues(t *testing.T) {
 		{0.99, 2.326347874},
 	}
 	for _, c := range cases {
-		if got := NormalQuantile(c.q); !almostEqual(got, c.want, 1e-4) {
+		if got := NormalQuantile(c.q); !AlmostEqual(got, c.want, 1e-4) {
 			t.Errorf("NormalQuantile(%v) = %v, want %v", c.q, got, c.want)
 		}
 	}
@@ -226,7 +227,7 @@ func TestNormalQuantileEdges(t *testing.T) {
 func TestNormalQuantileSymmetry(t *testing.T) {
 	for q := 0.01; q < 0.5; q += 0.01 {
 		lo, hi := NormalQuantile(q), NormalQuantile(1-q)
-		if !almostEqual(lo, -hi, 1e-8) {
+		if !AlmostEqual(lo, -hi, 1e-8) {
 			t.Errorf("asymmetric at q=%v: %v vs %v", q, lo, hi)
 		}
 	}
@@ -234,14 +235,14 @@ func TestNormalQuantileSymmetry(t *testing.T) {
 
 func TestStudentTQuantileDF1IsCauchy(t *testing.T) {
 	// t(1) is the Cauchy distribution: 0.75 quantile is exactly 1.
-	if got := StudentTQuantile(0.75, 1); !almostEqual(got, 1, 1e-9) {
+	if got := StudentTQuantile(0.75, 1); !AlmostEqual(got, 1, 1e-9) {
 		t.Errorf("t(1) q0.75 = %v, want 1", got)
 	}
 }
 
 func TestStudentTQuantileDF2(t *testing.T) {
 	// Known value: t(2) 0.975 quantile = 4.30265.
-	if got := StudentTQuantile(0.975, 2); !almostEqual(got, 4.30265, 1e-3) {
+	if got := StudentTQuantile(0.975, 2); !AlmostEqual(got, 4.30265, 1e-3) {
 		t.Errorf("t(2) q0.975 = %v, want 4.30265", got)
 	}
 }
@@ -259,7 +260,7 @@ func TestStudentTQuantileKnownValues(t *testing.T) {
 		{0.95, 5, 2.015048, 5e-3},
 	}
 	for _, c := range cases {
-		if got := StudentTQuantile(c.q, c.df); !almostEqual(got, c.want, c.tol) {
+		if got := StudentTQuantile(c.q, c.df); !AlmostEqual(got, c.want, c.tol) {
 			t.Errorf("t(%d) q%v = %v, want %v", c.df, c.q, got, c.want)
 		}
 	}
@@ -268,7 +269,7 @@ func TestStudentTQuantileKnownValues(t *testing.T) {
 func TestStudentTQuantileConvergesToNormal(t *testing.T) {
 	z := NormalQuantile(0.975)
 	tq := StudentTQuantile(0.975, 10_000)
-	if !almostEqual(z, tq, 1e-3) {
+	if !AlmostEqual(z, tq, 1e-3) {
 		t.Errorf("t(10000) = %v should approach z = %v", tq, z)
 	}
 }
@@ -284,7 +285,7 @@ func TestStudentTQuantileInvalid(t *testing.T) {
 
 func TestStudentTQuantileMedianIsZero(t *testing.T) {
 	for df := 1; df <= 50; df += 7 {
-		if got := StudentTQuantile(0.5, df); !almostEqual(got, 0, 1e-9) {
+		if got := StudentTQuantile(0.5, df); !AlmostEqual(got, 0, 1e-9) {
 			t.Errorf("t(%d) median = %v, want 0", df, got)
 		}
 	}

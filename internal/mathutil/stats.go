@@ -39,13 +39,14 @@ func Mean(xs []float64) (float64, bool) {
 	return Sum(xs) / float64(len(xs)), true
 }
 
-// MustMean is Mean for inputs known to be non-empty; it panics otherwise.
-func MustMean(xs []float64) float64 {
+// MeanErr is Mean with an error instead of a bool, for call sites that
+// propagate failure: it returns ErrEmpty when xs is empty.
+func MeanErr(xs []float64) (float64, error) {
 	m, ok := Mean(xs)
 	if !ok {
-		panic(ErrEmpty)
+		return 0, ErrEmpty
 	}
-	return m
+	return m, nil
 }
 
 // Median returns the median of xs without modifying it.
@@ -69,13 +70,14 @@ func Median(xs []float64) (float64, bool) {
 	return tmp[n/2-1]/2 + tmp[n/2]/2, true
 }
 
-// MustMedian is Median for inputs known to be non-empty; it panics otherwise.
-func MustMedian(xs []float64) float64 {
+// MedianErr is Median with an error instead of a bool, for call sites that
+// propagate failure: it returns ErrEmpty when xs is empty.
+func MedianErr(xs []float64) (float64, error) {
 	m, ok := Median(xs)
 	if !ok {
-		panic(ErrEmpty)
+		return 0, ErrEmpty
 	}
-	return m
+	return m, nil
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
@@ -106,7 +108,7 @@ func Variance(xs []float64) (float64, bool) {
 	if len(xs) < 2 {
 		return 0, false
 	}
-	mean := MustMean(xs)
+	mean, _ := Mean(xs) // non-empty by the guard above
 	var ss float64
 	for _, x := range xs {
 		d := x - mean
@@ -122,6 +124,7 @@ func StdDev(xs []float64) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	//edlint:ignore logdomain sample variance is a sum of squares divided by n-1 and cannot be negative
 	return math.Sqrt(v), true
 }
 
@@ -133,7 +136,7 @@ func CoefficientOfVariation(xs []float64) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	mean := MustMean(xs)
+	mean, _ := Mean(xs) // non-empty: StdDev demands len >= 2
 	if mean == 0 {
 		return 0, false
 	}
@@ -236,7 +239,7 @@ func RSquared(predicted, actual []float64) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	mean := MustMean(actual)
+	mean, _ := Mean(actual) // non-empty: RSS checked the lengths
 	var tss float64
 	for _, a := range actual {
 		d := a - mean

@@ -60,6 +60,7 @@ func (p Point) Equal(q Point) bool {
 		return false
 	}
 	for i := range p {
+		//edlint:ignore floateq Point identity backs measurement grouping; coordinates of the same configuration are bit-identical
 		if p[i] != q[i] {
 			return false
 		}
@@ -70,8 +71,11 @@ func (p Point) Equal(q Point) bool {
 // Less orders points lexicographically, used for stable iteration.
 func (p Point) Less(q Point) bool {
 	for i := 0; i < len(p) && i < len(q); i++ {
-		if p[i] != q[i] {
-			return p[i] < q[i]
+		if p[i] < q[i] {
+			return true
+		}
+		if p[i] > q[i] {
+			return false
 		}
 	}
 	return len(p) < len(q)

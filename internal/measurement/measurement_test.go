@@ -3,6 +3,8 @@ package measurement
 import (
 	"math/rand"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 func TestPointKey(t *testing.T) {
@@ -53,14 +55,14 @@ func TestPointClone(t *testing.T) {
 	p := Point{1, 2}
 	q := p.Clone()
 	q[0] = 99
-	if p[0] != 1 {
+	if !mathutil.Close(p[0], 1) {
 		t.Error("Clone aliases the original")
 	}
 }
 
 func TestSampleMedian(t *testing.T) {
 	s := Sample{Reps: []float64{3, 1, 2}}
-	if m, ok := s.Median(); !ok || m != 2 {
+	if m, ok := s.Median(); !ok || !mathutil.Close(m, 2) {
 		t.Errorf("median = %v, want 2", m)
 	}
 }
@@ -93,7 +95,7 @@ func TestSeriesAddClonesPoint(t *testing.T) {
 	p := Point{4}
 	s.Add(p, 1.0)
 	p[0] = 8
-	if s.Samples[0].Point[0] != 4 {
+	if !mathutil.Close(s.Samples[0].Point[0], 4) {
 		t.Error("Add aliased the caller's point")
 	}
 }
@@ -105,7 +107,7 @@ func TestSeriesSortAndPoints(t *testing.T) {
 	s.Add(Point{4}, 1)
 	s.Sort()
 	pts := s.Points()
-	if pts[0][0] != 2 || pts[1][0] != 4 || pts[2][0] != 8 {
+	if !mathutil.Close(pts[0][0], 2) || !mathutil.Close(pts[1][0], 4) || !mathutil.Close(pts[2][0], 8) {
 		t.Errorf("sorted points = %v", pts)
 	}
 }
@@ -116,7 +118,7 @@ func TestSeriesMedians(t *testing.T) {
 	s.Add(Point{4}, 10)
 	s.Sort()
 	m := s.Medians()
-	if m[0] != 2 || m[1] != 10 {
+	if !mathutil.Close(m[0], 2) || !mathutil.Close(m[1], 10) {
 		t.Errorf("medians = %v, want [2 10]", m)
 	}
 }
@@ -124,7 +126,7 @@ func TestSeriesMedians(t *testing.T) {
 func TestSeriesAt(t *testing.T) {
 	var s Series
 	s.Add(Point{2}, 5)
-	if got := s.At(Point{2}); got == nil || got.Reps[0] != 5 {
+	if got := s.At(Point{2}); got == nil || !mathutil.Close(got.Reps[0], 5) {
 		t.Error("At failed to find existing sample")
 	}
 	if s.At(Point{3}) != nil {
@@ -231,6 +233,7 @@ func TestSeriesRepetitionOrderInvariance(t *testing.T) {
 		}
 		ma, _ := a.Samples[0].Median()
 		mb, _ := b.Samples[0].Median()
+		//edlint:ignore floateq insertion-order invariance is exact: the same multiset must yield the same median
 		if ma != mb {
 			t.Fatalf("median differs by insertion order: %v vs %v", ma, mb)
 		}

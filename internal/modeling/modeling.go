@@ -296,6 +296,7 @@ func axisLine(points []measurement.Point, values []float64, param int) ([]measur
 	for i, p := range points {
 		onLine := true
 		for j, v := range p {
+			//edlint:ignore floateq sweep-line membership: the coordinate either is the stored minimum value or the point is off the line
 			if j != param && v != mins[j] {
 				onLine = false
 				break
@@ -484,8 +485,11 @@ func selectBest(points []measurement.Point, values []float64, hyps []hypothesis,
 		return nil, ErrNoHypothesis
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].smape != cands[j].smape {
-			return cands[i].smape < cands[j].smape
+		if cands[i].smape < cands[j].smape {
+			return true
+		}
+		if cands[i].smape > cands[j].smape {
+			return false
 		}
 		if cands[i].terms != cands[j].terms {
 			return cands[i].terms < cands[j].terms

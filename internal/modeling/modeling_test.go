@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
 	"extradeep/internal/pmnf"
 )
@@ -49,7 +50,7 @@ func TestFitRecoversLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := m.Function.Growth()
-	if g.PolyDegree != 1 || g.LogDegree != 0 {
+	if !mathutil.Close(g.PolyDegree, 1) || g.LogDegree != 0 {
 		t.Fatalf("growth = %v (%s), want O(x)", g, m.Function)
 	}
 	if math.Abs(m.Predict(128)-(3+2*128)) > 1e-6 {
@@ -77,7 +78,7 @@ func TestFitRecoversQuadratic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g := m.Function.Growth(); g.PolyDegree != 2 || g.LogDegree != 0 {
+	if g := m.Function.Growth(); !mathutil.Close(g.PolyDegree, 2) || g.LogDegree != 0 {
 		t.Fatalf("growth = %v (%s), want O(x²)", g, m.Function)
 	}
 }
@@ -211,7 +212,7 @@ func TestPredictIntervalContainsPrediction(t *testing.T) {
 	if !(lo <= pred && pred <= hi) {
 		t.Errorf("interval [%v,%v] does not contain prediction %v", lo, hi, pred)
 	}
-	if lo == hi {
+	if hi-lo == 0 {
 		t.Error("interval degenerate despite noisy fit")
 	}
 }

@@ -79,7 +79,7 @@ func (c *LineChart) SVG() (string, error) {
 			ymin, ymax = math.Min(ymin, s.Hi[i]), math.Max(ymax, s.Hi[i])
 		}
 	}
-	if ymin == ymax {
+	if ymax-ymin == 0 {
 		ymin, ymax = ymin-1, ymax+1
 	}
 	// Pad the y-range and start at zero when data is non-negative and
@@ -92,13 +92,22 @@ func (c *LineChart) SVG() (string, error) {
 		ymin -= pad
 	}
 
+	if c.LogX && (xmin <= 0 || xmax < xmin) {
+		// The per-value validation above guarantees a positive range;
+		// re-check the aggregate so a poisoned bound can never reach the
+		// log below.
+		return "", errors.New("plot: invalid x range on a log axis")
+	}
 	xform := func(x float64) float64 {
 		lo, hi := xmin, xmax
 		v := x
 		if c.LogX {
+			if x <= 0 {
+				x = xmin // series validation guarantees positive x; clamp defensively
+			}
 			lo, hi, v = math.Log2(xmin), math.Log2(xmax), math.Log2(x)
 		}
-		if hi == lo {
+		if hi-lo == 0 {
 			return marginLeft
 		}
 		return marginLeft + (v-lo)/(hi-lo)*(w-marginLeft-marginRight)
@@ -235,12 +244,21 @@ func (c *BarChart) SVG() (string, error) {
 	if !c.LogY {
 		ymin = 0
 	}
+	if c.LogY && (ymin <= 0 || ymax < ymin) {
+		// The per-value validation above guarantees a positive range;
+		// re-check the aggregate so a poisoned bound can never reach the
+		// log below.
+		return "", errors.New("plot: invalid y range on a log axis")
+	}
 	yform := func(v float64) float64 {
 		lo, hi, val := ymin, ymax, v
 		if c.LogY {
+			if v <= 0 {
+				v = ymin // group validation guarantees positive values; clamp defensively
+			}
 			lo, hi, val = math.Log10(ymin), math.Log10(ymax), math.Log10(v)
 		}
-		if hi == lo {
+		if hi-lo == 0 {
 			return h - marginBottom
 		}
 		return h - marginBottom - (val-lo)/(hi-lo)*(h-marginTop-marginBottom)*0.95
@@ -291,6 +309,9 @@ func niceTicks(lo, hi float64, n int) []float64 {
 		return []float64{lo, hi}
 	}
 	raw := (hi - lo) / float64(n)
+	if raw <= 0 {
+		return []float64{lo, hi} // hi > lo makes raw positive; defensive
+	}
 	mag := math.Pow(10, math.Floor(math.Log10(raw)))
 	var step float64
 	switch {
@@ -339,6 +360,7 @@ func sortFloats(xs []float64) {
 }
 
 func formatTick(v float64) string {
+	//edlint:ignore floateq exact integrality test chooses the label format; a near-integer tick should still print digits
 	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -33,6 +33,17 @@ type Factor struct {
 // Values x ≤ 0 are outside the PMNF domain and yield NaN when a log factor
 // is present or a fractional exponent is used.
 func (f Factor) Eval(x float64) float64 {
+	if x <= 0 {
+		// Outside the PMNF domain: logs are undefined and fractional
+		// exponents of non-positive bases have no real value. Surface an
+		// explicit NaN instead of letting math.Pow produce one silently.
+		if f.LogExp != 0 {
+			return math.NaN()
+		}
+		if _, frac := math.Modf(f.PolyExp); frac != 0 {
+			return math.NaN()
+		}
+	}
 	v := 1.0
 	if f.PolyExp != 0 {
 		v = math.Pow(x, f.PolyExp)
@@ -57,6 +68,7 @@ func (f Factor) String() string { return f.Render("x") }
 func (f Factor) Render(name string) string {
 	var parts []string
 	if f.PolyExp != 0 {
+		//edlint:ignore floateq rendering branch: an exponent that is exactly 1 prints bare, anything else prints with the caret
 		if f.PolyExp == 1 {
 			parts = append(parts, name)
 		} else {

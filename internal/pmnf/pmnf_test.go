@@ -5,27 +5,29 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"extradeep/internal/mathutil"
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestFactorEvalPolynomial(t *testing.T) {
 	f := Factor{PolyExp: 2}
-	if got := f.Eval(3); got != 9 {
+	if got := f.Eval(3); !mathutil.Close(got, 9) {
 		t.Errorf("x² at 3 = %v, want 9", got)
 	}
 }
 
 func TestFactorEvalLog(t *testing.T) {
 	f := Factor{LogExp: 2}
-	if got := f.Eval(8); got != 9 {
+	if got := f.Eval(8); !mathutil.Close(got, 9) {
 		t.Errorf("log²(8) = %v, want 9", got)
 	}
 }
 
 func TestFactorEvalMixed(t *testing.T) {
 	f := Factor{PolyExp: 1, LogExp: 1}
-	if got := f.Eval(4); got != 8 {
+	if got := f.Eval(4); !mathutil.Close(got, 8) {
 		t.Errorf("x·log(x) at 4 = %v, want 8", got)
 	}
 }
@@ -39,7 +41,7 @@ func TestFactorEvalFractional(t *testing.T) {
 
 func TestFactorEvalConstant(t *testing.T) {
 	f := Factor{}
-	if got := f.Eval(123); got != 1 {
+	if got := f.Eval(123); !mathutil.Close(got, 1) {
 		t.Errorf("constant factor = %v, want 1", got)
 	}
 	if !f.IsConstant() {
@@ -81,14 +83,14 @@ func TestFactorRender(t *testing.T) {
 func TestTermEval(t *testing.T) {
 	term := Term{Coefficient: 2, Factors: []Factor{{Param: 0, PolyExp: 1}, {Param: 1, LogExp: 1}}}
 	// 2 · x1 · log2(x2) at (3, 4) = 2·3·2 = 12
-	if got := term.Eval([]float64{3, 4}); got != 12 {
+	if got := term.Eval([]float64{3, 4}); !mathutil.Close(got, 12) {
 		t.Errorf("term = %v, want 12", got)
 	}
 }
 
 func TestTermEvalBasisExcludesCoefficient(t *testing.T) {
 	term := Term{Coefficient: 5, Factors: []Factor{{Param: 0, PolyExp: 2}}}
-	if got := term.EvalBasis([]float64{3}); got != 9 {
+	if got := term.EvalBasis([]float64{3}); !mathutil.Close(got, 9) {
 		t.Errorf("basis = %v, want 9", got)
 	}
 }
@@ -145,7 +147,7 @@ func TestFunctionStringNegativeTerm(t *testing.T) {
 
 func TestConstantFunction(t *testing.T) {
 	fn := ConstantFunction(7)
-	if got := fn.Eval(99, 3); got != 7 {
+	if got := fn.Eval(99, 3); !mathutil.Close(got, 7) {
 		t.Errorf("constant fn = %v, want 7", got)
 	}
 	if g := fn.Growth(); g.PolyDegree != 0 || g.LogDegree != 0 {
@@ -204,7 +206,7 @@ func TestFunctionGrowthDominantTerm(t *testing.T) {
 		},
 	}
 	g := fn.Growth()
-	if g.PolyDegree != 2 || g.LogDegree != 1 {
+	if !mathutil.Close(g.PolyDegree, 2) || g.LogDegree != 1 {
 		t.Errorf("growth = %v, want {2 1}", g)
 	}
 }
@@ -216,7 +218,7 @@ func TestFunctionGrowthIgnoresZeroCoefficients(t *testing.T) {
 			{Coefficient: 1, Factors: []Factor{{Param: 0, PolyExp: 1}}},
 		},
 	}
-	if g := fn.Growth(); g.PolyDegree != 1 {
+	if g := fn.Growth(); !mathutil.Close(g.PolyDegree, 1) {
 		t.Errorf("growth = %v, want poly degree 1", g)
 	}
 }

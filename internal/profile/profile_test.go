@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"extradeep/internal/calltree"
+	"extradeep/internal/mathutil"
 	"extradeep/internal/trace"
 )
 
@@ -81,7 +82,7 @@ func TestPointIsCopy(t *testing.T) {
 	p := validProfile(0, 1, 4)
 	pt := p.Point()
 	pt[0] = 99
-	if p.Config[0] != 4 {
+	if !mathutil.Close(p.Config[0], 4) {
 		t.Error("Point aliases the profile's config")
 	}
 }
@@ -97,7 +98,7 @@ func TestStoreWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.App != orig.App || got.Rank != 2 || got.Rep != 1 || got.Config[0] != 8 {
+	if got.App != orig.App || got.Rank != 2 || got.Rep != 1 || !mathutil.Close(got.Config[0], 8) {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
 	if len(got.Trace.Events) != 1 || got.Trace.Events[0].Name != "EigenMetaKernel" {

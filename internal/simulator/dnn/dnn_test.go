@@ -3,6 +3,8 @@ package dnn
 import (
 	"strings"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 func TestResNet50ImageNetParams(t *testing.T) {
@@ -99,7 +101,7 @@ func TestNNLMParamsDominatedByEmbedding(t *testing.T) {
 			embParams = l.Params
 		}
 	}
-	if embParams != 20000*128 {
+	if !mathutil.Close(embParams, 20000*128) {
 		t.Errorf("embedding params = %v, want 2.56M", embParams)
 	}
 	if embParams/m.TotalParams() < 0.9 {
@@ -129,14 +131,14 @@ func TestRelativeComputeCostsMatchPaper(t *testing.T) {
 
 func TestGradientBytes(t *testing.T) {
 	m := ResNet50(224, 224, 3, 1000)
-	if m.GradientBytes() != m.TotalParams()*4 {
+	if !mathutil.Close(m.GradientBytes(), m.TotalParams()*4) {
 		t.Error("gradient bytes should be 4 bytes per parameter")
 	}
 }
 
 func TestTrainFLOPsIsThreeTimesForward(t *testing.T) {
 	m := CNN10(124, 129, 1, 35)
-	if m.TrainFLOPs() != 3*m.FwdFLOPs() {
+	if !mathutil.Close(m.TrainFLOPs(), 3*m.FwdFLOPs()) {
 		t.Error("train FLOPs should be 3× forward")
 	}
 }
@@ -170,10 +172,10 @@ func TestLayerAccounting(t *testing.T) {
 	// conv2D: 3×3×16→32 on 8×8 input, stride 1: params = 9·16·32 = 4608,
 	// FLOPs = 2·8·8·32·(9·16) = 589824.
 	l := conv2D("c", 8, 8, 16, 32, 3, 1, false)
-	if l.Params != 4608 {
+	if !mathutil.Close(l.Params, 4608) {
 		t.Errorf("conv params = %v, want 4608", l.Params)
 	}
-	if l.FwdFLOPs != 589824 {
+	if !mathutil.Close(l.FwdFLOPs, 589824) {
 		t.Errorf("conv FLOPs = %v, want 589824", l.FwdFLOPs)
 	}
 	if l.OutH != 8 || l.OutW != 8 || l.OutC != 32 {
@@ -188,27 +190,27 @@ func TestLayerAccounting(t *testing.T) {
 
 func TestDenseAccounting(t *testing.T) {
 	l := dense("d", 100, 10, true)
-	if l.Params != 100*10+10 {
+	if !mathutil.Close(l.Params, 100*10+10) {
 		t.Errorf("dense params = %v", l.Params)
 	}
-	if l.FwdFLOPs != 2*100*10 {
+	if !mathutil.Close(l.FwdFLOPs, 2*100*10) {
 		t.Errorf("dense FLOPs = %v", l.FwdFLOPs)
 	}
 }
 
 func TestDepthwiseAccounting(t *testing.T) {
 	l := dwConv2D("dw", 16, 16, 32, 3, 1)
-	if l.Params != 9*32 {
+	if !mathutil.Close(l.Params, 9*32) {
 		t.Errorf("dw params = %v, want 288", l.Params)
 	}
-	if l.FwdFLOPs != 2*16*16*32*9 {
+	if !mathutil.Close(l.FwdFLOPs, 2*16*16*32*9) {
 		t.Errorf("dw FLOPs = %v", l.FwdFLOPs)
 	}
 }
 
 func TestBwdFLOPsTwiceForward(t *testing.T) {
 	l := dense("d", 10, 10, false)
-	if l.BwdFLOPs() != 2*l.FwdFLOPs {
+	if !mathutil.Close(l.BwdFLOPs(), 2*l.FwdFLOPs) {
 		t.Error("backward should be 2× forward")
 	}
 }

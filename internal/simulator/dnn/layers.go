@@ -195,7 +195,11 @@ func (m *Model) ComputeLayers() []Layer {
 // --- layer constructors -----------------------------------------------
 
 // convOut returns the spatial output size of a same/valid convolution.
+// A non-positive stride is treated as 1 rather than dividing by zero.
 func convOut(in, kernel, stride int, same bool) int {
+	if stride <= 0 {
+		stride = 1
+	}
 	if same {
 		return (in + stride - 1) / stride
 	}

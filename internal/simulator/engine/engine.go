@@ -94,6 +94,11 @@ func (c RunConfig) noiseParams(b Benchmark) noise.Params {
 // multiplier in [0.7, 2].
 func complexityFactor(b Benchmark) float64 {
 	epochFLOPs := b.Model.TrainFLOPs() * float64(b.Dataset.TrainSamples)
+	if epochFLOPs < 1 {
+		// Degenerate zero-cost models: clamp before the log so the noise
+		// factor bottoms out at 0.7 instead of going NaN.
+		epochFLOPs = 1
+	}
 	f := 0.7 + 0.08*math.Log2(epochFLOPs/1e12)
 	if f < 0.7 {
 		f = 0.7

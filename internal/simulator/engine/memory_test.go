@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
 )
@@ -12,19 +13,19 @@ func TestEstimateMemoryComponents(t *testing.T) {
 	b := mustBenchmark(t, "cifar10")
 	fp := EstimateMemory(b, parallel.DataParallel{}, 4, true)
 	params := b.Model.TotalParams()
-	if fp.WeightsBytes != params*4 {
+	if !mathutil.Close(fp.WeightsBytes, params*4) {
 		t.Errorf("weights = %v, want %v", fp.WeightsBytes, params*4)
 	}
-	if fp.GradientBytes != params*4 {
+	if !mathutil.Close(fp.GradientBytes, params*4) {
 		t.Errorf("gradients = %v", fp.GradientBytes)
 	}
-	if fp.OptimizerBytes != params*8 {
+	if !mathutil.Close(fp.OptimizerBytes, params*8) {
 		t.Errorf("optimizer = %v", fp.OptimizerBytes)
 	}
 	if fp.ActivationsBytes <= 0 || fp.WorkspaceBytes <= 0 {
 		t.Error("activations/workspace missing")
 	}
-	if fp.Total() != fp.WeightsBytes+fp.GradientBytes+fp.OptimizerBytes+fp.ActivationsBytes+fp.WorkspaceBytes {
+	if !mathutil.Close(fp.Total(), fp.WeightsBytes+fp.GradientBytes+fp.OptimizerBytes+fp.ActivationsBytes+fp.WorkspaceBytes) {
 		t.Error("Total does not sum the components")
 	}
 }

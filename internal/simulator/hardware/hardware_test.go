@@ -1,6 +1,10 @@
 package hardware
 
-import "testing"
+import (
+	"testing"
+
+	"extradeep/internal/mathutil"
+)
 
 func TestDEEPMatchesTable1(t *testing.T) {
 	s := DEEP()
@@ -81,14 +85,14 @@ func TestA100FasterThanV100(t *testing.T) {
 
 func TestNetworkLatencySeconds(t *testing.T) {
 	n := Network{LatencyUS: 2}
-	if n.Latency() != 2e-6 {
+	if !mathutil.Close(n.Latency(), 2e-6) {
 		t.Errorf("Latency = %v, want 2e-6", n.Latency())
 	}
 }
 
 func TestNetworkEffectiveBandwidthZeroLinks(t *testing.T) {
 	n := Network{BandwidthGBs: 10}
-	if n.EffectiveBandwidth() != 10e9 {
+	if !mathutil.Close(n.EffectiveBandwidth(), 10e9) {
 		t.Errorf("0 links should default to 1: %v", n.EffectiveBandwidth())
 	}
 }

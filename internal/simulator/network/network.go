@@ -209,6 +209,9 @@ func (c Config) allreduce(bytes float64) float64 {
 	// Continuous log₂(p) rounds: production MPI libraries blend several
 	// algorithms across rank counts, so the effective round count grows
 	// smoothly rather than as the exact ⌈log₂ p⌉ staircase.
+	if p < 1 {
+		p = 1 // degenerate rank counts must not poison the log
+	}
 	rounds := math.Log2(p)
 	if rounds < 1 {
 		rounds = 1
@@ -228,6 +231,9 @@ func (c Config) allgather(bytes float64) float64 {
 // broadcast models a binomial-tree broadcast.
 func (c Config) broadcast(bytes float64) float64 {
 	p := float64(c.Ranks)
+	if p < 1 {
+		p = 1 // degenerate rank counts must not poison the log
+	}
 	rounds := math.Ceil(math.Log2(p))
 	bw := c.effectiveInterBandwidth()
 	return rounds * (c.InterLatency + bytes/bw)

@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/simulator/hardware"
 )
 
@@ -53,7 +54,7 @@ func TestAllreduceGrowsWithBytes(t *testing.T) {
 
 func TestNegativeBytesTreatedAsZero(t *testing.T) {
 	cfg := deepConfig(8)
-	if got := cfg.Time(Allreduce, -5); got != cfg.Time(Allreduce, 0) {
+	if got := cfg.Time(Allreduce, -5); !mathutil.Close(got, cfg.Time(Allreduce, 0)) {
 		t.Error("negative bytes not clamped")
 	}
 }

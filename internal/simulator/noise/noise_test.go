@@ -3,6 +3,8 @@ package noise
 import (
 	"math"
 	"testing"
+
+	"extradeep/internal/mathutil"
 )
 
 func TestRunSigmaGrowsWithNodes(t *testing.T) {
@@ -19,7 +21,7 @@ func TestRunSigmaGrowsWithNodes(t *testing.T) {
 
 func TestRunSigmaClampNonPositiveNodes(t *testing.T) {
 	p := DEEPParams()
-	if p.RunSigma(0) != p.RunSigma(1) {
+	if !mathutil.Close(p.RunSigma(0), p.RunSigma(1)) {
 		t.Error("nodes=0 not clamped to 1")
 	}
 }
@@ -42,13 +44,16 @@ func TestCalibrationMatchesPaperScale(t *testing.T) {
 func TestSourceDeterministic(t *testing.T) {
 	a := NewSource(DEEPParams(), 8, 42)
 	b := NewSource(DEEPParams(), 8, 42)
+	//edlint:ignore floateq determinism: identical seeds must yield bit-identical factors
 	if a.RunFactorCompute() != b.RunFactorCompute() || a.RunFactorComm() != b.RunFactorComm() {
 		t.Error("run factors differ for identical seeds")
 	}
 	for i := 0; i < 10; i++ {
+		//edlint:ignore floateq determinism: identical seeds must yield bit-identical factors
 		if a.StepFactor() != b.StepFactor() {
 			t.Fatal("step factors diverge")
 		}
+		//edlint:ignore floateq determinism: identical seeds must yield bit-identical factors
 		if a.KernelFactor() != b.KernelFactor() {
 			t.Fatal("kernel factors diverge")
 		}
@@ -58,6 +63,7 @@ func TestSourceDeterministic(t *testing.T) {
 func TestSourceSeedsDiffer(t *testing.T) {
 	a := NewSource(DEEPParams(), 8, 1)
 	b := NewSource(DEEPParams(), 8, 2)
+	//edlint:ignore floateq different seeds must yield observably different streams; any inequality suffices
 	if a.RunFactorCompute() == b.RunFactorCompute() {
 		t.Error("different seeds produced identical run factors")
 	}
@@ -174,6 +180,7 @@ func TestCountJitterIndependentOfTimingStream(t *testing.T) {
 		a.CountJitter(2) // extra draws on the count stream only
 	}
 	for i := 0; i < 20; i++ {
+		//edlint:ignore floateq stream isolation: the timing stream must be bit-identical with and without count draws
 		if a.StepFactor() != b.StepFactor() {
 			t.Fatal("count jitter perturbed the timing stream")
 		}
@@ -182,7 +189,7 @@ func TestCountJitterIndependentOfTimingStream(t *testing.T) {
 
 func TestZeroSigmaGivesUnitFactors(t *testing.T) {
 	s := NewSource(Params{}, 4, 9)
-	if s.RunFactorCompute() != 1 || s.StepFactor() != 1 || s.KernelFactor() != 1 {
+	if !mathutil.Close(s.RunFactorCompute(), 1) || !mathutil.Close(s.StepFactor(), 1) || !mathutil.Close(s.KernelFactor(), 1) {
 		t.Error("zero-sigma params should produce unit factors")
 	}
 }

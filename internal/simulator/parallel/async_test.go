@@ -3,12 +3,13 @@ package parallel
 import (
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/simulator/network"
 )
 
 func TestAsyncDegrees(t *testing.T) {
 	g, m := AsyncDataParallel{}.Degrees(32)
-	if g != 32 || m != 1 {
+	if !mathutil.Close(g, 32) || !mathutil.Close(m, 1) {
 		t.Errorf("G,M = %v,%v; want 32,1", g, m)
 	}
 }
@@ -18,7 +19,7 @@ func TestAsyncNoBubbleFullCompute(t *testing.T) {
 	if a.BubbleOverhead(64) != 0 {
 		t.Error("ASP has no synchronization bubble")
 	}
-	if a.ComputeFraction(64) != 1 {
+	if !mathutil.Close(a.ComputeFraction(64), 1) {
 		t.Error("ASP workers hold the full model")
 	}
 }
@@ -71,7 +72,7 @@ func TestAsyncDefaultProvisioningKeepsContentionBounded(t *testing.T) {
 	a := AsyncDataParallel{}
 	b16 := a.StepComms(m, 16, 256)[0].Bytes
 	b128 := a.StepComms(m, 128, 256)[0].Bytes
-	if b16 != b128 {
+	if !mathutil.Close(b16, b128) {
 		t.Errorf("default provisioning should keep per-worker bytes flat: %v vs %v", b16, b128)
 	}
 }

@@ -3,6 +3,7 @@ package parallel
 import (
 	"testing"
 
+	"extradeep/internal/mathutil"
 	"extradeep/internal/simulator/dnn"
 	"extradeep/internal/simulator/network"
 )
@@ -26,13 +27,13 @@ func TestByName(t *testing.T) {
 
 func TestDataParallelDegrees(t *testing.T) {
 	g, m := DataParallel{}.Degrees(64)
-	if g != 64 || m != 1 {
+	if !mathutil.Close(g, 64) || !mathutil.Close(m, 1) {
 		t.Errorf("G,M = %v,%v; want 64,1", g, m)
 	}
 }
 
 func TestDataParallelComputeFull(t *testing.T) {
-	if (DataParallel{}).ComputeFraction(64) != 1 {
+	if !mathutil.Close((DataParallel{}).ComputeFraction(64), 1) {
 		t.Error("data parallelism should compute the full model per rank")
 	}
 	if (DataParallel{}).BubbleOverhead(64) != 0 {
@@ -50,7 +51,7 @@ func TestDataParallelComms(t *testing.T) {
 	if op.Op != network.Allreduce || op.Count != 4 || op.GroupRanks != 16 {
 		t.Errorf("op = %+v", op)
 	}
-	if total := op.Bytes * float64(op.Count); total != m.GradientBytes() {
+	if total := op.Bytes * float64(op.Count); !mathutil.Close(total, m.GradientBytes()) {
 		t.Errorf("total allreduce bytes = %v, want %v", total, m.GradientBytes())
 	}
 }
@@ -65,18 +66,18 @@ func TestDataParallelDefaultBucket(t *testing.T) {
 func TestTensorParallelDegrees(t *testing.T) {
 	g, m := TensorParallel{GroupSize: 4}.Degrees(64)
 	// Paper §4.2.1: G = x1, M = 4 for the hybrid benchmarks.
-	if g != 64 || m != 4 {
+	if !mathutil.Close(g, 64) || !mathutil.Close(m, 4) {
 		t.Errorf("G,M = %v,%v; want 64,4", g, m)
 	}
 }
 
 func TestTensorParallelComputeFraction(t *testing.T) {
 	s := TensorParallel{GroupSize: 4}
-	if f := s.ComputeFraction(64); f != 0.25 {
+	if f := s.ComputeFraction(64); !mathutil.Close(f, 0.25) {
 		t.Errorf("fraction = %v, want 0.25", f)
 	}
 	// Fewer ranks than the group size: degenerate to full model.
-	if f := s.ComputeFraction(2); f != 1 {
+	if f := s.ComputeFraction(2); !mathutil.Close(f, 1) {
 		t.Errorf("degenerate fraction = %v, want 1", f)
 	}
 }
@@ -111,14 +112,14 @@ func TestTensorParallelDegenerateFallsBack(t *testing.T) {
 
 func TestPipelineParallelDegrees(t *testing.T) {
 	g, m := PipelineParallel{Stages: 4}.Degrees(64)
-	if g != 64 || m != 4 {
+	if !mathutil.Close(g, 64) || !mathutil.Close(m, 4) {
 		t.Errorf("G,M = %v,%v; want 64,4", g, m)
 	}
 }
 
 func TestPipelineBubble(t *testing.T) {
 	p := PipelineParallel{Stages: 4, MicroBatches: 8}
-	if b := p.BubbleOverhead(16); b != 3.0/8 {
+	if b := p.BubbleOverhead(16); !mathutil.Close(b, 3.0/8) {
 		t.Errorf("bubble = %v, want 0.375", b)
 	}
 	if b := p.BubbleOverhead(2); b != 0 {
@@ -168,10 +169,10 @@ func TestHybridCommLighterGradientThanData(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	if g, m := (TensorParallel{}).Degrees(8); g != 8 || m != 4 {
+	if g, m := (TensorParallel{}).Degrees(8); !mathutil.Close(g, 8) || !mathutil.Close(m, 4) {
 		t.Errorf("default tensor degrees = %v,%v", g, m)
 	}
-	if g, m := (PipelineParallel{}).Degrees(8); g != 8 || m != 4 {
+	if g, m := (PipelineParallel{}).Degrees(8); !mathutil.Close(g, 8) || !mathutil.Close(m, 4) {
 		t.Errorf("default pipeline degrees = %v,%v", g, m)
 	}
 	if (PipelineParallel{}).microBatches() != 8 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"extradeep/internal/calltree"
+	"extradeep/internal/mathutil"
 )
 
 // buildTestTrace returns a small valid trace with two epochs of two train
@@ -46,7 +47,7 @@ func TestPhaseString(t *testing.T) {
 
 func TestEventEndAndCategory(t *testing.T) {
 	e := Event{Name: "ncclAllReduce", Kind: calltree.KindNCCL, Start: 1.5, Duration: 0.5}
-	if e.End() != 2.0 {
+	if !mathutil.Close(e.End(), 2.0) {
 		t.Errorf("End = %v", e.End())
 	}
 	if e.Category() != calltree.CategoryCommunication {
@@ -65,7 +66,7 @@ func TestStepSpanContains(t *testing.T) {
 	if s.Contains(0.5) || s.Contains(3) {
 		t.Error("outside times contained")
 	}
-	if s.Duration() != 1 {
+	if !mathutil.Close(s.Duration(), 1) {
 		t.Errorf("Duration = %v", s.Duration())
 	}
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh — the pre-PR gate: format, vet, build, race-enabled tests, and
+# the project-native static-analysis suite. Every step must pass before a
+# change ships; ROADMAP.md documents this as the tier-1 contract.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> edlint ./..."
+go run ./cmd/edlint ./...
+
+echo "verify.sh: all gates passed"
