@@ -5,18 +5,35 @@
 //
 // Usage:
 //
-//	extradeep -profiles profiles/ -benchmark cifar10 [-weak] \
+//	extradeep -profiles profiles/ -benchmark cifar10 [-weak] [-strict] \
 //	          [-predict 40] [-budget 10] [-max-time 600]
 //
 // The training-setup values (B, D_t, D_v, G, M of Section 2.3.1) are
 // derived from the built-in benchmark named with -benchmark; for foreign
 // profiles they can be given explicitly with -batch/-train-samples/
 // -val-samples/-model-parallel.
+//
+// Profile loading is fault-tolerant by default (lenient policy): files
+// that fail to read, decode or validate are quarantined with a visible
+// summary and the analysis proceeds on the surviving set, as long as the
+// degradation gate still sees enough distinct configurations for
+// modeling. -strict restores the historical all-or-nothing behavior and
+// aborts on the first unreadable file.
+//
+// Exit codes:
+//
+//	0 — success, including success-with-warnings (files were quarantined
+//	    but the surviving set was modelable)
+//	1 — any other failure (modeling, I/O, failed -check diagnosis)
+//	2 — flag or usage errors (unknown format, benchmark, strategy, …)
+//	3 — no usable profile data: the degradation gate refused the
+//	    surviving set in lenient mode, or a file failed in -strict mode
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -25,99 +42,148 @@ import (
 	"extradeep/internal/core"
 	"extradeep/internal/diagnose"
 	"extradeep/internal/epoch"
-	"extradeep/internal/importer"
+	"extradeep/internal/ingest"
 	"extradeep/internal/measurement"
-	"extradeep/internal/profile"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
 )
 
+// Process exit codes; see the command doc comment.
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+	exitNoData  = 3
+)
+
 func main() {
-	profilesDir := flag.String("profiles", "profiles", "directory of profile files")
-	benchmark := flag.String("benchmark", "", "built-in benchmark name to derive training-setup values from")
-	strategyName := flag.String("strategy", "data", "parallel strategy the profiles were produced with")
-	weak := flag.Bool("weak", true, "profiles come from weak-scaling runs")
-	batch := flag.Float64("batch", 0, "per-worker batch size B (overrides -benchmark)")
-	trainSamples := flag.Float64("train-samples", 0, "training-set size D_t (overrides -benchmark)")
-	valSamples := flag.Float64("val-samples", 0, "validation-set size D_v (overrides -benchmark)")
-	modelParallel := flag.Float64("model-parallel", 1, "degree of model parallelism M")
-	predict := flag.Float64("predict", 0, "additionally predict the training time per epoch at this rank count")
-	budget := flag.Float64("budget", 0, "budget in core-hours for the cost-effectiveness analysis (0 = unbounded)")
-	maxTime := flag.Float64("max-time", 0, "maximum training time per epoch in seconds (0 = unbounded)")
-	systemName := flag.String("system", "DEEP", "system the profiles were measured on (for ϱ of the cost model)")
-	topKernels := flag.Int("top", 10, "number of kernels to list in the bottleneck ranking")
-	format := flag.String("format", "json", "profile format: json (native) or csv (foreign-profiler interchange)")
-	saveModels := flag.String("save-models", "", "write the fitted models to this JSON file")
-	loadModels := flag.String("models", "", "skip profiling/modeling and load previously saved models from this file (prediction-only mode)")
-	checkOnly := flag.Bool("check", false, "diagnose the profile set's measurement quality and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// say, sayf and sayln print best-effort to the chosen writer. The writers
+// are os.Stdout/os.Stderr in production and buffers in tests; a failed
+// diagnostic write has no sensible recovery in a CLI, so the error is
+// deliberately discarded.
+func say(w io.Writer, args ...any) {
+	_, _ = fmt.Fprint(w, args...)
+}
+
+func sayf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func sayln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// run executes the command and returns its process exit code. It is
+// separated from main so tests can drive the full command line, including
+// exit codes, without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("extradeep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profilesDir := fs.String("profiles", "profiles", "directory of profile files")
+	benchmark := fs.String("benchmark", "", "built-in benchmark name to derive training-setup values from")
+	strategyName := fs.String("strategy", "data", "parallel strategy the profiles were produced with")
+	weak := fs.Bool("weak", true, "profiles come from weak-scaling runs")
+	batch := fs.Float64("batch", 0, "per-worker batch size B (overrides -benchmark)")
+	trainSamples := fs.Float64("train-samples", 0, "training-set size D_t (overrides -benchmark)")
+	valSamples := fs.Float64("val-samples", 0, "validation-set size D_v (overrides -benchmark)")
+	modelParallel := fs.Float64("model-parallel", 1, "degree of model parallelism M")
+	predict := fs.Float64("predict", 0, "additionally predict the training time per epoch at this rank count")
+	budget := fs.Float64("budget", 0, "budget in core-hours for the cost-effectiveness analysis (0 = unbounded)")
+	maxTime := fs.Float64("max-time", 0, "maximum training time per epoch in seconds (0 = unbounded)")
+	systemName := fs.String("system", "DEEP", "system the profiles were measured on (for ϱ of the cost model)")
+	topKernels := fs.Int("top", 10, "number of kernels to list in the bottleneck ranking")
+	format := fs.String("format", "json", "profile format: json (native) or csv (foreign-profiler interchange)")
+	saveModels := fs.String("save-models", "", "write the fitted models to this JSON file")
+	loadModels := fs.String("models", "", "skip profiling/modeling and load previously saved models from this file (prediction-only mode)")
+	checkOnly := fs.Bool("check", false, "diagnose the profile set's measurement quality and exit")
+	strict := fs.Bool("strict", false, "abort on the first unreadable profile instead of quarantining it")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	fail := func(err error) int {
+		sayln(stderr, "extradeep:", err)
+		return exitFailure
+	}
+	usage := func(err error) int {
+		sayln(stderr, "extradeep:", err)
+		return exitUsage
+	}
 
 	if *loadModels != "" {
-		predictOnly(*loadModels, *predict, *systemName, *budget, *maxTime)
-		return
+		return predictOnly(*loadModels, *predict, *systemName, *budget, *maxTime, stdout, stderr)
 	}
 
-	var profiles []*profile.Profile
-	var err error
-	switch *format {
-	case "json":
-		store := &profile.Store{Dir: *profilesDir}
-		profiles, err = store.ReadAll()
-	case "csv":
-		profiles, err = importer.ImportDir(*profilesDir)
-	default:
-		err = fmt.Errorf("unknown profile format %q (have json, csv)", *format)
+	if *format != "json" && *format != "csv" {
+		return usage(fmt.Errorf("unknown profile format %q (have json, csv)", *format))
 	}
+	opts := ingest.Options{Policy: ingest.Lenient}
+	if *strict {
+		opts.Policy = ingest.Strict
+	}
+	report, err := ingest.LoadDir(*profilesDir, *format, opts)
 	if err != nil {
-		fatal(err)
+		sayln(stderr, "extradeep:", err)
+		return exitNoData
 	}
-	if len(profiles) == 0 {
-		fatal(fmt.Errorf("no profiles found in %s", *profilesDir))
+	sayf(stdout, "loaded %d profiles from %s\n", len(report.Profiles), *profilesDir)
+	if s := report.Summary(); s != "" {
+		say(stdout, s)
 	}
-	fmt.Printf("loaded %d profiles from %s\n", len(profiles), *profilesDir)
+	if err := report.Gate(opts); err != nil {
+		sayln(stderr, "extradeep:", err)
+		return exitNoData
+	}
+	for _, w := range report.Warnings {
+		sayf(stdout, "warning: %s\n", w)
+	}
+	profiles := report.Profiles
 
 	if *checkOnly {
 		rep := diagnose.Check(profiles, diagnose.Options{})
-		fmt.Print(rep.Render())
+		say(stdout, rep.Render())
 		if !rep.OK() {
-			os.Exit(1)
+			return exitFailure
 		}
-		return
+		return exitOK
 	}
 
 	strat, err := parallel.ByName(*strategyName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	setup, err := buildSetup(*benchmark, strat, *weak, *batch, *trainSamples, *valSamples, *modelParallel)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 
 	aggs, err := core.AggregateProfiles(profiles, aggregate.DefaultOptions())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("aggregated %d application configurations\n", len(aggs))
+	sayf(stdout, "aggregated %d application configurations\n", len(aggs))
 
 	models, err := core.BuildModels(aggs, setup, core.DefaultOptions())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *saveModels != "" {
 		if err := core.SaveModels(*saveModels, models); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("saved %d kernel models and %d application models to %s\n",
+		sayf(stdout, "saved %d kernel models and %d application models to %s\n",
 			models.KernelCount(), len(models.App), *saveModels)
 	}
 
 	// --- application models --------------------------------------------
-	fmt.Println("\napplication models (training time per epoch):")
+	sayln(stdout, "\napplication models (training time per epoch):")
 	for _, path := range []string{epoch.AppPath, epoch.CompPath, epoch.CommPath, epoch.MemPath} {
 		if m, ok := models.App[path]; ok {
-			fmt.Printf("  %-20s T(p) = %s   (CV-SMAPE %.2f%%, R² %.4f)\n", path, m.Function, m.SMAPE, m.R2)
+			sayf(stdout, "  %-20s T(p) = %s   (CV-SMAPE %.2f%%, R² %.4f)\n", path, m.Function, m.SMAPE, m.R2)
 		}
 	}
 
@@ -127,43 +193,43 @@ func main() {
 	baseline := points.Clone()
 	maxPoint := aggs[len(aggs)-1].Point.Clone()
 	ranked := analysis.RankByGrowth(timeModels, baseline, maxPoint)
-	fmt.Printf("\ntop %d kernels by growth trend (%s -> %s):\n", *topKernels, baseline.Key(), maxPoint.Key())
+	sayf(stdout, "\ntop %d kernels by growth trend (%s -> %s):\n", *topKernels, baseline.Key(), maxPoint.Key())
 	for i, k := range ranked {
 		if i >= *topKernels {
 			break
 		}
-		fmt.Printf("  %2d. %-55s ×%-8.2f %s  %s\n", i+1, k.Callpath, k.GrowthFactor, k.Growth, k.Model.Function)
+		sayf(stdout, "  %2d. %-55s ×%-8.2f %s  %s\n", i+1, k.Callpath, k.GrowthFactor, k.Growth, k.Model.Function)
 	}
 
 	// Kernels ranked by achieved speedup: which functions benefit least
 	// from scaling up (Section 3.1)?
 	bySpeedup := analysis.RankBySpeedup(timeModels, baseline, maxPoint)
 	if n := len(bySpeedup); n > 0 {
-		fmt.Printf("\nkernels benefiting least from scaling up (Δ %s -> %s):\n", baseline.Key(), maxPoint.Key())
+		sayf(stdout, "\nkernels benefiting least from scaling up (Δ %s -> %s):\n", baseline.Key(), maxPoint.Key())
 		shown := 0
 		for i := n - 1; i >= 0 && shown < 5; i-- {
 			k := bySpeedup[i]
-			fmt.Printf("  %-55s Δ = %+.1f%%\n", k.Callpath, k.SpeedupPct)
+			sayf(stdout, "  %-55s Δ = %+.1f%%\n", k.Callpath, k.SpeedupPct)
 			shown++
 		}
 	}
 
 	appModel, ok := models.App[epoch.AppPath]
 	if !ok {
-		fatal(fmt.Errorf("no application runtime model"))
+		return fail(fmt.Errorf("no application runtime model"))
 	}
 
 	// --- optional prediction (Q1) ---------------------------------------
 	if *predict > 0 {
 		lo, hi := appModel.PredictInterval(0.95, *predict)
-		fmt.Printf("\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
+		sayf(stdout, "\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
 			*predict, appModel.Predict(*predict), lo, hi)
 	}
 
 	// --- speedup / efficiency / cost ------------------------------------
 	sys, err := hardware.ByName(*systemName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	var xs []float64
 	for _, agg := range aggs {
@@ -172,23 +238,24 @@ func main() {
 	sort.Float64s(xs)
 	effs, err := analysis.Efficiencies(appModel.Function, xs)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cm := analysis.CostModel{Runtime: appModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
-	fmt.Println("\nscalability and cost per measured configuration:")
-	fmt.Printf("  %6s  %12s  %12s  %12s\n", "ranks", "T(p) [s]", "efficiency", "cost [core-h]")
+	sayln(stdout, "\nscalability and cost per measured configuration:")
+	sayf(stdout, "  %6s  %12s  %12s  %12s\n", "ranks", "T(p) [s]", "efficiency", "cost [core-h]")
 	for i, x := range xs {
-		fmt.Printf("  %6.0f  %12.2f  %12.3f  %12.3f\n", x, appModel.Predict(x), effs[i], cm.CoreHours(x))
+		sayf(stdout, "  %6.0f  %12.2f  %12.3f  %12.3f\n", x, appModel.Predict(x), effs[i], cm.CoreHours(x))
 	}
 
 	// --- cost-effective configuration (Q5) ------------------------------
 	best, err := analysis.MostCostEffective(appModel.Function, cm, xs, analysis.Constraint{MaxTime: *maxTime, Budget: *budget})
 	if err != nil {
-		fmt.Printf("\ncost-effectiveness: %v\n", err)
-		return
+		sayf(stdout, "\ncost-effectiveness: %v\n", err)
+		return exitOK
 	}
-	fmt.Printf("\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
+	sayf(stdout, "\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
 		best.Ranks, best.Time, best.Cost, best.Efficiency)
+	return exitOK
 }
 
 // buildSetup derives the epoch.SetupFunc either from a built-in benchmark
@@ -222,31 +289,35 @@ func buildSetup(benchmark string, strat parallel.Strategy, weak bool, batch, tra
 
 // predictOnly answers questions from previously saved models without any
 // profiles — the cheap re-analysis path.
-func predictOnly(modelsPath string, predict float64, systemName string, budget, maxTime float64) {
+func predictOnly(modelsPath string, predict float64, systemName string, budget, maxTime float64, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		sayln(stderr, "extradeep:", err)
+		return exitFailure
+	}
 	models, err := core.LoadModels(modelsPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("loaded %d kernel models and %d application models from %s\n",
+	sayf(stdout, "loaded %d kernel models and %d application models from %s\n",
 		models.KernelCount(), len(models.App), modelsPath)
 	for _, path := range []string{epoch.AppPath, epoch.CompPath, epoch.CommPath, epoch.MemPath} {
 		if m, ok := models.App[path]; ok {
-			fmt.Printf("  %-20s T(p) = %s\n", path, m.Function)
+			sayf(stdout, "  %-20s T(p) = %s\n", path, m.Function)
 		}
 	}
 	appModel, ok := models.App[epoch.AppPath]
 	if !ok {
-		fatal(fmt.Errorf("model file has no application runtime model"))
+		return fail(fmt.Errorf("model file has no application runtime model"))
 	}
 	if predict > 0 {
 		lo, hi := appModel.PredictInterval(0.95, predict)
-		fmt.Printf("\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
+		sayf(stdout, "\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
 			predict, appModel.Predict(predict), lo, hi)
 	}
 	if budget > 0 || maxTime > 0 {
 		sys, err := hardware.ByName(systemName)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		cm := analysis.CostModel{Runtime: appModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
 		var xs []float64
@@ -255,15 +326,11 @@ func predictOnly(modelsPath string, predict float64, systemName string, budget, 
 		}
 		best, err := analysis.MostCostEffective(appModel.Function, cm, xs, analysis.Constraint{MaxTime: maxTime, Budget: budget})
 		if err != nil {
-			fmt.Printf("\ncost-effectiveness: %v\n", err)
-			return
+			sayf(stdout, "\ncost-effectiveness: %v\n", err)
+			return exitOK
 		}
-		fmt.Printf("\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h)\n",
+		sayf(stdout, "\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h)\n",
 			best.Ranks, best.Time, best.Cost)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "extradeep:", err)
-	os.Exit(1)
+	return exitOK
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extradeep/internal/faults"
+	"extradeep/internal/profile"
+	"extradeep/internal/simulator/engine"
+	"extradeep/internal/simulator/hardware"
+	"extradeep/internal/simulator/parallel"
+)
+
+// writeCampaign simulates a 5-configuration × 2-repetition campaign (one
+// sampled rank per run: 10 profile files) into a fresh directory.
+func writeCampaign(t *testing.T) string {
+	t.Helper()
+	b, err := engine.ByName("imdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store := &profile.Store{Dir: dir}
+	for _, ranks := range []int{2, 4, 6, 8, 10} {
+		cfg := engine.RunConfig{
+			System: hardware.DEEP(), Strategy: parallel.DataParallel{},
+			Ranks: ranks, WeakScaling: true, Seed: 7, SampleRanks: 1,
+		}
+		for rep := 1; rep <= 2; rep++ {
+			ps, err := engine.Profile(b, cfg, rep, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ps {
+				if err := store.Write(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return dir
+}
+
+// TestLenientAnalysisSurvivesCorruptedFiles is the acceptance scenario:
+// with 2 of 10 files corrupted, lenient mode completes the full analysis
+// from the 8 healthy profiles, names both bad files, and exits 0.
+func TestLenientAnalysisSurvivesCorruptedFiles(t *testing.T) {
+	dir := writeCampaign(t)
+	bad1, err := faults.CorruptFile(filepath.Join(dir, "imdb.x2.mpi0.r1.json"), faults.Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2, err := faults.CorruptFile(filepath.Join(dir, "imdb.x6.mpi0.r2.json"), faults.NaNMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-benchmark", "imdb"}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitOK, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"loaded 8 profiles",
+		"quarantined 2 of 10",
+		bad1,
+		bad2,
+		"aggregated 5 application configurations",
+		"application models",
+		"most cost-effective configuration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStrictModeExitsNonZeroNamingFirstFailure(t *testing.T) {
+	dir := writeCampaign(t)
+	bad, err := faults.CorruptFile(filepath.Join(dir, "imdb.x2.mpi0.r1.json"), faults.Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-benchmark", "imdb", "-strict"}, &stdout, &stderr)
+	if code != exitNoData {
+		t.Fatalf("exit %d, want %d", code, exitNoData)
+	}
+	if !strings.Contains(stderr.String(), bad) {
+		t.Errorf("strict failure does not name %s:\n%s", bad, stderr.String())
+	}
+}
+
+func TestGateRefusalExitsNoData(t *testing.T) {
+	dir := writeCampaign(t)
+	// Destroy both repetitions of one configuration: 4 survive, below the
+	// paper's minimum of 5.
+	for _, name := range []string{"imdb.x4.mpi0.r1.json", "imdb.x4.mpi0.r2.json"} {
+		if _, err := faults.CorruptFile(filepath.Join(dir, name), faults.Garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-benchmark", "imdb"}, &stdout, &stderr)
+	if code != exitNoData {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitNoData, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "4 usable configuration") {
+		t.Errorf("stderr lacks gate explanation:\n%s", stderr.String())
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-format", "xml"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestMissingSetupIsUsageError(t *testing.T) {
+	dir := writeCampaign(t)
+	var stdout, stderr bytes.Buffer
+	// No -benchmark and no -batch/-train-samples: a usage error, after
+	// profiles loaded fine.
+	if code := run([]string{"-profiles", dir}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("exit %d, want %d; stderr:\n%s", code, exitUsage, stderr.String())
+	}
+}
+
+func TestCheckModeRunsOnSurvivingProfiles(t *testing.T) {
+	dir := writeCampaign(t)
+	if _, err := faults.CorruptFile(filepath.Join(dir, "imdb.x2.mpi0.r1.json"), faults.Empty); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-check"}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitOK, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "quarantined 1 of 10") || !strings.Contains(out, "modeling can proceed") {
+		t.Errorf("check output unexpected:\n%s", out)
+	}
+}

@@ -3,12 +3,15 @@
 // repetitions, inconsistent step counts across ranks, absent warm-up
 // epochs, kernels observed in too few configurations to be modeled
 // (they will be filtered, Fig. 2 step (4)), excessive run-to-run
-// variation, and too few configurations for modeling at all. It is the
+// variation, too few configurations for modeling at all, and semantic
+// corruption — NaN/Inf or negative event metric values that decode
+// without error but would poison the aggregation medians. It is the
 // pre-flight check of the analysis pipeline.
 package diagnose
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -114,6 +117,34 @@ func (o Options) variationWarn() float64 {
 	return o.VariationWarn
 }
 
+// corruptEventMetrics scans a trace for semantically corrupt event
+// metrics — NaN/Inf start, duration or byte values, or negative durations
+// and byte counts — which decode without error (e.g. from the CSV
+// interchange format or an in-memory producer) yet would silently poison
+// the aggregation medians. It returns the number of corrupt events and a
+// description of the first one.
+func corruptEventMetrics(tr *trace.Trace) (count int, first string) {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	for i, e := range tr.Events {
+		var reason string
+		switch {
+		case bad(e.Start) || bad(e.Duration) || bad(e.Bytes):
+			reason = fmt.Sprintf("non-finite metric (start %v, duration %v, bytes %v)", e.Start, e.Duration, e.Bytes)
+		case e.Duration < 0:
+			reason = fmt.Sprintf("negative duration %v", e.Duration)
+		case e.Bytes < 0:
+			reason = fmt.Sprintf("negative byte count %v", e.Bytes)
+		default:
+			continue
+		}
+		count++
+		if first == "" {
+			first = fmt.Sprintf("event %d (%s): %s", i, e.Name, reason)
+		}
+	}
+	return count, first
+}
+
 // Check diagnoses a profile set.
 func Check(profiles []*profile.Profile, opts Options) *Report {
 	rep := &Report{Profiles: len(profiles)}
@@ -181,6 +212,11 @@ func Check(profiles []*profile.Profile, opts Options) *Report {
 		stepCounts := map[int]bool{}
 		for _, p := range group {
 			tr := &p.Trace
+			if n, first := corruptEventMetrics(tr); n > 0 {
+				rep.add(Error, subject,
+					"rank %d rep %d has %d event(s) with corrupt metric values (first: %s) — NaN/Inf or negative measurements would poison every median downstream",
+					p.Rank, p.Rep, n, first)
+			}
 			if len(tr.Epochs) == 0 {
 				rep.add(Error, subject, "rank %d rep %d has no epoch marks — instrumentation missing?", p.Rank, p.Rep)
 				continue

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -216,6 +217,54 @@ func TestCheckInconsistentStepCounts(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("step-count warning absent: %+v", rep.Warnings())
+	}
+}
+
+func TestCheckCorruptEventMetrics(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*trace.Event)
+	}{
+		{"nan-duration", func(e *trace.Event) { e.Duration = math.NaN() }},
+		{"inf-start", func(e *trace.Event) { e.Start = math.Inf(1) }},
+		{"nan-bytes", func(e *trace.Event) { e.Bytes = math.NaN() }},
+		{"negative-duration", func(e *trace.Event) { e.Duration = -0.25 }},
+		{"negative-bytes", func(e *trace.Event) { e.Bytes = -4096 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ps := healthyProfiles(t)
+			c.mutate(&ps[0].Trace.Events[0])
+			rep := Check(ps, Options{})
+			if rep.OK() {
+				t.Fatal("semantically corrupt profile reported OK")
+			}
+			found := false
+			for _, f := range rep.Errors() {
+				if strings.Contains(f.Message, "corrupt metric values") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("corrupt-metric error absent: %+v", rep.Errors())
+			}
+		})
+	}
+}
+
+func TestCheckCorruptMetricsCountsEvents(t *testing.T) {
+	ps := healthyProfiles(t)
+	ps[0].Trace.Events[0].Duration = math.NaN()
+	ps[0].Trace.Events[1].Bytes = math.Inf(-1)
+	rep := Check(ps, Options{})
+	found := false
+	for _, f := range rep.Errors() {
+		if strings.Contains(f.Message, "2 event(s) with corrupt metric values") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrupt-metric count wrong: %+v", rep.Errors())
 	}
 }
 

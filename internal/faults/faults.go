@@ -1,0 +1,262 @@
+// Package faults deterministically corrupts valid profile files, modeling
+// the damage real profiling campaigns produce on shared clusters: killed
+// jobs truncate exports, full filesystems leave empty or garbage files,
+// buggy converters emit NaN/Inf metric values or drop interchange-format
+// headers, and retried jobs duplicate rank/repetition files. The ingest
+// layer and the fuzz targets use this harness to prove the loaders
+// quarantine every corruption kind instead of aborting or smuggling
+// non-finite values into the pipeline.
+//
+// All mutations are deterministic functions of the input bytes — no
+// randomness — so a corruption that quarantines in a test quarantines
+// forever.
+package faults
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Kind enumerates the supported corruption kinds.
+type Kind int
+
+// The corruption kinds, roughly ordered from byte-level to semantic.
+const (
+	// Truncate cuts the file roughly in half, as a killed job or full
+	// filesystem would, leaving a partial final line or JSON object.
+	Truncate Kind = iota
+	// Garbage overwrites the leading bytes with a 0xFE pattern,
+	// destroying the JSON opening or the CSV magic header.
+	Garbage
+	// Empty replaces the file with zero bytes.
+	Empty
+	// InvalidUTF8 prepends an invalid UTF-8 byte sequence.
+	InvalidUTF8
+	// NaNMetric sets an event duration to NaN — syntactically valid in
+	// CSV, where only semantic validation can catch it.
+	NaNMetric
+	// InfMetric sets an event duration to +Inf (an out-of-range number
+	// literal in JSON).
+	InfMetric
+	// NegativeDuration sets an event duration to a negative value.
+	NegativeDuration
+	// MissingHeader removes the CSV magic line, or blanks the JSON "app"
+	// field, so the file no longer identifies itself.
+	MissingHeader
+	// DuplicateRankRep duplicates a valid file under a second name, so
+	// two profiles claim the same (app, configuration, rank, repetition).
+	// Apply returns the bytes unchanged; CorruptFile writes the copy.
+	DuplicateRankRep
+)
+
+// Kinds returns every corruption kind, for table-driven tests.
+func Kinds() []Kind {
+	return []Kind{
+		Truncate, Garbage, Empty, InvalidUTF8, NaNMetric, InfMetric,
+		NegativeDuration, MissingHeader, DuplicateRankRep,
+	}
+}
+
+// String names the corruption kind.
+func (k Kind) String() string {
+	switch k {
+	case Truncate:
+		return "truncate"
+	case Garbage:
+		return "garbage"
+	case Empty:
+		return "empty"
+	case InvalidUTF8:
+		return "invalid-utf8"
+	case NaNMetric:
+		return "nan-metric"
+	case InfMetric:
+		return "inf-metric"
+	case NegativeDuration:
+		return "negative-duration"
+	case MissingHeader:
+		return "missing-header"
+	case DuplicateRankRep:
+		return "duplicate-rank-rep"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Apply returns a corrupted copy of a valid profile file's bytes. format
+// is "json" (native store) or "csv" (interchange format); the semantic
+// kinds need it to locate the fields they damage.
+func Apply(k Kind, data []byte, format string) ([]byte, error) {
+	if format != "json" && format != "csv" {
+		return nil, fmt.Errorf("faults: unknown profile format %q", format)
+	}
+	switch k {
+	case Truncate:
+		return truncate(data), nil
+	case Garbage:
+		return garbage(data), nil
+	case Empty:
+		return []byte{}, nil
+	case InvalidUTF8:
+		return append([]byte{0xff, 0xfe, '\n'}, data...), nil
+	case NaNMetric:
+		return setEventDuration(data, format, "NaN")
+	case InfMetric:
+		if format == "json" {
+			// JSON has no Inf literal; an out-of-range number is the
+			// closest a converter can come to emitting one.
+			return setEventDuration(data, format, "1e999")
+		}
+		return setEventDuration(data, format, "Inf")
+	case NegativeDuration:
+		return setEventDuration(data, format, "-0.5")
+	case MissingHeader:
+		if format == "json" {
+			return blankJSONApp(data)
+		}
+		return dropCSVMagic(data)
+	case DuplicateRankRep:
+		// The corruption is set-level: the same bytes existing twice.
+		return append([]byte(nil), data...), nil
+	default:
+		return nil, fmt.Errorf("faults: unknown corruption kind %d", int(k))
+	}
+}
+
+// CorruptFile corrupts the file in place, inferring the format from the
+// extension. For DuplicateRankRep it instead writes a colliding copy next
+// to the original (prefixed so it sorts after every canonical name) and
+// leaves the original intact. It returns the path of the corrupted file.
+func CorruptFile(path string, k Kind) (string, error) {
+	format := strings.TrimPrefix(filepath.Ext(path), ".")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("faults: %w", err)
+	}
+	mutated, err := Apply(k, data, format)
+	if err != nil {
+		return "", err
+	}
+	out := path
+	if k == DuplicateRankRep {
+		dir, base := filepath.Split(path)
+		out = filepath.Join(dir, "zz-dup-"+base)
+	}
+	if err := os.WriteFile(out, mutated, 0o644); err != nil {
+		return "", fmt.Errorf("faults: %w", err)
+	}
+	return out, nil
+}
+
+// truncate cuts the data in half; if the cut lands exactly on a line
+// boundary it shaves one more byte so the final line is always partial.
+func truncate(data []byte) []byte {
+	n := len(data) / 2
+	for n > 0 && data[n-1] == '\n' {
+		n--
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// garbage overwrites the first 16 bytes with 0xFE, clobbering the JSON
+// opening brace or the CSV magic header.
+func garbage(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < len(out) && i < 16; i++ {
+		out[i] = 0xfe
+	}
+	return out
+}
+
+// setEventDuration rewrites the duration of the first event to val.
+func setEventDuration(data []byte, format, val string) ([]byte, error) {
+	if format == "json" {
+		return spliceJSONNumber(data, `"duration":`, val)
+	}
+	return spliceCSVEventField(data, 5, val)
+}
+
+// spliceJSONNumber replaces the numeric value following the first
+// occurrence of key (e.g. `"duration":`) with val.
+func spliceJSONNumber(data []byte, key, val string) ([]byte, error) {
+	i := bytes.Index(data, []byte(key))
+	if i < 0 {
+		return nil, fmt.Errorf("faults: no %s field to corrupt", key)
+	}
+	start := i + len(key)
+	end := start
+	for end < len(data) && data[end] != ',' && data[end] != '}' {
+		end++
+	}
+	if end == len(data) {
+		return nil, fmt.Errorf("faults: unterminated %s value", key)
+	}
+	out := append([]byte(nil), data[:start]...)
+	out = append(out, val...)
+	return append(out, data[end:]...), nil
+}
+
+// spliceCSVEventField rewrites one field of the first "event" record.
+func spliceCSVEventField(data []byte, field int, val string) ([]byte, error) {
+	lines := strings.SplitAfter(string(data), "\n")
+	for li, line := range lines {
+		if !strings.HasPrefix(line, "event,") {
+			continue
+		}
+		cr := csv.NewReader(strings.NewReader(line))
+		cr.FieldsPerRecord = -1
+		rec, err := cr.Read()
+		if err != nil || len(rec) <= field {
+			return nil, fmt.Errorf("faults: cannot parse event record %q", strings.TrimSpace(line))
+		}
+		rec[field] = val
+		var buf strings.Builder
+		cw := csv.NewWriter(&buf)
+		if err := cw.Write(rec); err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+		lines[li] = buf.String()
+		return []byte(strings.Join(lines, "")), nil
+	}
+	return nil, fmt.Errorf("faults: no event record to corrupt")
+}
+
+// dropCSVMagic removes the "# extradeep-csv v1" magic line.
+func dropCSVMagic(data []byte) ([]byte, error) {
+	lines := strings.SplitAfter(string(data), "\n")
+	for li, line := range lines {
+		if strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "#")) == "extradeep-csv v1" {
+			return []byte(strings.Join(append(lines[:li:li], lines[li+1:]...), "")), nil
+		}
+	}
+	return nil, fmt.Errorf("faults: no magic header to drop")
+}
+
+// blankJSONApp empties the "app" string of a native JSON profile.
+func blankJSONApp(data []byte) ([]byte, error) {
+	key := []byte(`"app":"`)
+	i := bytes.Index(data, key)
+	if i < 0 {
+		return nil, fmt.Errorf("faults: no app field to blank")
+	}
+	start := i + len(key)
+	end := start
+	for end < len(data) && data[end] != '"' {
+		if data[end] == '\\' {
+			end++
+		}
+		end++
+	}
+	if end >= len(data) {
+		return nil, fmt.Errorf("faults: unterminated app value")
+	}
+	return append(append([]byte(nil), data[:start]...), data[end:]...), nil
+}

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+const sampleCSV = `# extradeep-csv v1
+# app=cifar10
+# params=p
+# config=4
+# rank=0
+# rep=1
+# wall=12.5
+# sampled=true
+epoch,0,0,0.2
+step,0,0,train,0,0.1
+event,EigenMetaKernel,cuda,App->train->EigenMetaKernel,0.01,0.05,0,1
+`
+
+const sampleJSON = `{"app":"cifar10","params":["p"],"config":[4],"rank":0,"rep":1,` +
+	`"wall_time":12.5,"sampled":true,"trace":{"rank":0,` +
+	`"events":[{"name":"EigenMetaKernel","kind":1,"start":0.01,"duration":0.05}],` +
+	`"steps":[{"epoch":0,"index":0,"phase":0,"start":0,"end":0.1}],` +
+	`"epochs":[{"index":0,"start":0,"end":0.2}]}}`
+
+func TestApplyIsDeterministic(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, tc := range []struct {
+			format string
+			data   string
+		}{{"csv", sampleCSV}, {"json", sampleJSON}} {
+			a, err := Apply(k, []byte(tc.data), tc.format)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, tc.format, err)
+			}
+			b, err := Apply(k, []byte(tc.data), tc.format)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, tc.format, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: two applications differ", k, tc.format)
+			}
+		}
+	}
+}
+
+func TestApplyMutatesExceptDuplicate(t *testing.T) {
+	for _, k := range Kinds() {
+		out, err := Apply(k, []byte(sampleCSV), "csv")
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if k == DuplicateRankRep {
+			if !bytes.Equal(out, []byte(sampleCSV)) {
+				t.Errorf("%s: duplicate must keep bytes unchanged", k)
+			}
+			continue
+		}
+		if bytes.Equal(out, []byte(sampleCSV)) {
+			t.Errorf("%s: corruption left the input unchanged", k)
+		}
+	}
+}
+
+func TestTruncateEndsMidLine(t *testing.T) {
+	out, err := Apply(Truncate, []byte(sampleCSV), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(sampleCSV) {
+		t.Fatalf("truncate kept %d of %d bytes", len(out), len(sampleCSV))
+	}
+	if len(out) > 0 && out[len(out)-1] == '\n' {
+		t.Error("truncate ended on a line boundary")
+	}
+}
+
+func TestEmptyAndInvalidUTF8(t *testing.T) {
+	out, err := Apply(Empty, []byte(sampleJSON), "json")
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Empty: %v, %d bytes", err, len(out))
+	}
+	out, err = Apply(InvalidUTF8, []byte(sampleCSV), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utf8.Valid(out) {
+		t.Error("InvalidUTF8 produced valid UTF-8")
+	}
+}
+
+func TestSemanticKindsTargetTheDurationField(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		format   string
+		data     string
+		fragment string
+	}{
+		{NaNMetric, "csv", sampleCSV, ",NaN,"},
+		{InfMetric, "csv", sampleCSV, ",Inf,"},
+		{NegativeDuration, "csv", sampleCSV, ",-0.5,"},
+		{NaNMetric, "json", sampleJSON, `"duration":NaN`},
+		{InfMetric, "json", sampleJSON, `"duration":1e999`},
+		{NegativeDuration, "json", sampleJSON, `"duration":-0.5`},
+	}
+	for _, c := range cases {
+		out, err := Apply(c.kind, []byte(c.data), c.format)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.kind, c.format, err)
+		}
+		if !strings.Contains(string(out), c.fragment) {
+			t.Errorf("%s/%s: output lacks %q:\n%s", c.kind, c.format, c.fragment, out)
+		}
+	}
+}
+
+func TestMissingHeader(t *testing.T) {
+	out, err := Apply(MissingHeader, []byte(sampleCSV), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "extradeep-csv v1") {
+		t.Error("magic header survived")
+	}
+	out, err = Apply(MissingHeader, []byte(sampleJSON), "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"app":""`) {
+		t.Errorf("app field not blanked:\n%s", out)
+	}
+}
+
+func TestApplyRejectsUnknownFormatAndKind(t *testing.T) {
+	if _, err := Apply(Truncate, []byte(sampleCSV), "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := Apply(Kind(99), []byte(sampleCSV), "csv"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Apply(NaNMetric, []byte("# extradeep-csv v1\n"), "csv"); err == nil {
+		t.Error("NaNMetric without an event record accepted")
+	}
+}
+
+func TestCorruptFileInPlaceAndDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cifar10.x4.mpi0.r1.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := CorruptFile(path, Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != path {
+		t.Errorf("in-place corruption returned %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(sampleCSV) {
+		t.Error("file not truncated in place")
+	}
+
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := CorruptFile(path, DuplicateRankRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup == path || filepath.Base(dup) != "zz-dup-cifar10.x4.mpi0.r1.csv" {
+		t.Errorf("duplicate written to %q", dup)
+	}
+	dupData, err := os.ReadFile(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dupData, []byte(sampleCSV)) {
+		t.Error("duplicate differs from original")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

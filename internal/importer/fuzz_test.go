@@ -1,0 +1,75 @@
+package importer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"extradeep/internal/faults"
+	"extradeep/internal/profile"
+)
+
+// nonFiniteProfile reports whether any numeric field is NaN/Inf.
+func nonFiniteProfile(p *profile.Profile) bool {
+	bad := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if bad(p.WallTime) || bad(p.Config...) {
+		return true
+	}
+	for _, e := range p.Trace.Events {
+		if bad(e.Start, e.Duration, e.Bytes) {
+			return true
+		}
+	}
+	for _, s := range p.Trace.Steps {
+		if bad(s.Start, s.End) {
+			return true
+		}
+	}
+	for _, ep := range p.Trace.Epochs {
+		if bad(ep.Start, ep.End) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzReadCSV asserts the interchange-format invariant on arbitrary
+// input: ReadCSV returns either a valid, all-finite profile or an error —
+// it never panics and never smuggles NaN/Inf into the pipeline, no matter
+// how a foreign converter mangled its export.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte(sampleCSV))
+	for _, k := range faults.Kinds() {
+		mutated, err := faults.Apply(k, []byte(sampleCSV), "csv")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(mutated)
+	}
+	f.Add([]byte("# extradeep-csv v1\n# config=NaN\n"))
+	f.Add([]byte("# extradeep-csv v1\n# wall=Inf\nevent,x,cuda,cp,0,1,,\n"))
+	f.Add([]byte("# extradeep-csv v1\nevent,x,cuda,cp,NaN,1,,\n"))
+	f.Add([]byte("# extradeep-csv v1\nstep,0,0,train,Inf,NaN\n"))
+	f.Add([]byte("# extradeep-csv v1\nevent,x,cuda,cp,0,1,-5,-3\n"))
+	f.Add([]byte("\"quoted\nmultiline\",oops"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadCSV(strings.NewReader(string(data)))
+		if err != nil {
+			return // rejected input: the other half of the invariant
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ReadCSV accepted an invalid profile: %v", verr)
+		}
+		if nonFiniteProfile(p) {
+			t.Fatalf("ReadCSV smuggled a non-finite value: %+v", p)
+		}
+	})
+}

@@ -48,17 +48,25 @@ import (
 // ErrFormat reports a malformed CSV profile.
 var ErrFormat = errors.New("importer: malformed CSV profile")
 
-// ReadCSV parses one CSV profile.
+// ReadCSV parses one CSV profile. Errors wrap ErrFormat where the input is
+// malformed and always name the 1-based line of the original input the
+// problem was found on, so a caller that knows the file name (ReadCSVFile)
+// can report an exact path:line location.
 func ReadCSV(r io.Reader) (*profile.Profile, error) {
 	p := &profile.Profile{Rep: 1}
 	br := bufio.NewReader(r)
 
-	// Metadata comment lines precede the CSV body.
+	// Metadata comment lines precede the CSV body. Body lines keep their
+	// original line numbers in bodyLines so record-level errors can point
+	// into the file rather than into the comment-stripped body.
 	var body strings.Builder
+	var bodyLines []int
 	sawMagic := false
+	lineNo := 0
 	for {
 		line, err := br.ReadString('\n')
 		if len(line) > 0 {
+			lineNo++
 			trimmed := strings.TrimSpace(line)
 			switch {
 			case strings.HasPrefix(trimmed, "#"):
@@ -67,13 +75,17 @@ func ReadCSV(r io.Reader) (*profile.Profile, error) {
 					sawMagic = true
 				} else if key, val, ok := strings.Cut(meta, "="); ok {
 					if err := applyMeta(p, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
-						return nil, err
+						return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
 					}
 				}
 			case trimmed == "":
 				// skip blank lines
 			default:
 				body.WriteString(line)
+				if !strings.HasSuffix(line, "\n") {
+					body.WriteString("\n")
+				}
+				bodyLines = append(bodyLines, lineNo)
 			}
 		}
 		if err == io.EOF {
@@ -87,16 +99,33 @@ func ReadCSV(r io.Reader) (*profile.Profile, error) {
 		return nil, fmt.Errorf("%w: missing '# extradeep-csv v1' header", ErrFormat)
 	}
 
+	// fileLine maps a 1-based body line back to its original input line.
+	fileLine := func(bodyLine int) int {
+		if bodyLine >= 1 && bodyLine <= len(bodyLines) {
+			return bodyLines[bodyLine-1]
+		}
+		return lineNo
+	}
+
 	cr := csv.NewReader(strings.NewReader(body.String()))
 	cr.FieldsPerRecord = -1
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-	for i, rec := range records {
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			at := i + 1
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				at = pe.StartLine
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, fileLine(at), err)
+		}
 		if len(rec) == 0 {
 			continue
 		}
+		recLine, _ := cr.FieldPos(0)
 		kind := strings.TrimSpace(rec[0])
 		if i == 0 && kind == "record" {
 			continue // column header
@@ -104,18 +133,18 @@ func ReadCSV(r io.Reader) (*profile.Profile, error) {
 		switch kind {
 		case "event":
 			if err := parseEvent(p, rec); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, i+1, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, fileLine(recLine), err)
 			}
 		case "step":
 			if err := parseStep(p, rec); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, i+1, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, fileLine(recLine), err)
 			}
 		case "epoch":
 			if err := parseEpoch(p, rec); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, i+1, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, fileLine(recLine), err)
 			}
 		default:
-			return nil, fmt.Errorf("%w: line %d: unknown record type %q", ErrFormat, i+1, kind)
+			return nil, fmt.Errorf("%w: line %d: unknown record type %q", ErrFormat, fileLine(recLine), kind)
 		}
 	}
 	p.Trace.Rank = p.Rank
@@ -126,6 +155,8 @@ func ReadCSV(r io.Reader) (*profile.Profile, error) {
 	return p, nil
 }
 
+// applyMeta applies one "# key=value" metadata line. Its errors carry no
+// location; ReadCSV wraps them with ErrFormat and the offending line.
 func applyMeta(p *profile.Profile, key, val string) error {
 	switch key {
 	case "app":
@@ -136,26 +167,26 @@ func applyMeta(p *profile.Profile, key, val string) error {
 		for _, part := range splitNonEmpty(val) {
 			v, err := strconv.ParseFloat(part, 64)
 			if err != nil {
-				return fmt.Errorf("%w: bad config value %q", ErrFormat, part)
+				return fmt.Errorf("bad config value %q", part)
 			}
 			p.Config = append(p.Config, v)
 		}
 	case "rank":
 		v, err := strconv.Atoi(val)
 		if err != nil {
-			return fmt.Errorf("%w: bad rank %q", ErrFormat, val)
+			return fmt.Errorf("bad rank %q", val)
 		}
 		p.Rank = v
 	case "rep":
 		v, err := strconv.Atoi(val)
 		if err != nil {
-			return fmt.Errorf("%w: bad rep %q", ErrFormat, val)
+			return fmt.Errorf("bad rep %q", val)
 		}
 		p.Rep = v
 	case "wall":
 		v, err := strconv.ParseFloat(val, 64)
 		if err != nil {
-			return fmt.Errorf("%w: bad wall time %q", ErrFormat, val)
+			return fmt.Errorf("bad wall time %q", val)
 		}
 		p.WallTime = v
 	case "sampled":

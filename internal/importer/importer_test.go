@@ -101,6 +101,91 @@ func TestReadCSVRejectsBadNumbers(t *testing.T) {
 	}
 }
 
+// TestReadCSVErrorsCarryFileLine pins the error-location contract: every
+// malformed line is reported with its 1-based line number in the original
+// input, not its position in the comment-stripped CSV body.
+func TestReadCSVErrorsCarryFileLine(t *testing.T) {
+	cases := []struct {
+		name     string
+		input    string
+		wantLine string
+	}{
+		{
+			"bad metadata value",
+			"# extradeep-csv v1\n# app=x\n# config=oops\n",
+			"line 3",
+		},
+		{
+			// sampleCSV has 15 lines (8 metadata lines, the column
+			// header and 6 records); the appended bad record is line 16.
+			"bad record after header",
+			sampleCSV + "event,x,cuda,cp,notanumber,0.1,,\n",
+			"line 16",
+		},
+		{
+			"unknown record type",
+			sampleCSV + "frobnicate,1,2,3\n",
+			"line 16",
+		},
+		{
+			"bare quote",
+			sampleCSV + "event,\"x\"y,cuda,cp,0,0.1,,\n",
+			"line 16",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.input))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !errors.Is(err, ErrFormat) {
+				t.Errorf("err = %v, want ErrFormat", err)
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Errorf("error %q does not carry %q", err, c.wantLine)
+			}
+		})
+	}
+}
+
+func TestReadCSVFileErrorCarriesPathAndLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.csv")
+	bad := sampleCSV + "event,x,cuda,cp,0.0,notanumber,,\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCSVFile(path)
+	if err == nil {
+		t.Fatal("broken file accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "line 16") {
+		t.Errorf("error lacks path:line location: %v", msg)
+	}
+}
+
+func TestReadCSVRejectsNonFiniteMetrics(t *testing.T) {
+	cases := []string{
+		"event,x,cuda,cp,NaN,0.1,,\n",
+		"event,x,cuda,cp,0.3,Inf,,\n",
+		"event,x,cuda,cp,0.3,0.01,NaN,\n",
+		"step,0,2,train,NaN,NaN\n",
+	}
+	for _, line := range cases {
+		if _, err := ReadCSV(strings.NewReader(sampleCSV + line)); err == nil {
+			t.Errorf("non-finite metric accepted: %q", line)
+		}
+	}
+	// Non-finite metadata is rejected too.
+	for _, meta := range []string{"# config=NaN\n", "# wall=NaN\n"} {
+		if _, err := ReadCSV(strings.NewReader(sampleCSV + meta)); err == nil {
+			t.Errorf("non-finite metadata accepted: %q", meta)
+		}
+	}
+}
+
 func TestReadCSVRejectsUnnamedEvent(t *testing.T) {
 	bad := sampleCSV + "event,,cuda,cp,0.0,0.1,,\n"
 	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {

@@ -1,0 +1,339 @@
+// Package ingest is the fault-tolerant loading layer between the on-disk
+// profile formats and the analysis pipeline. The paper's pipeline is built
+// for messy measurement data — medians over steps, ranks and repetitions
+// exist because profiles are noisy — but a profiling campaign on a shared
+// cluster also produces files that are outright broken: killed jobs leave
+// truncated exports, full filesystems leave empty ones, converters emit
+// NaN metrics. The raw loaders (profile.Store, importer.ImportDir) are
+// all-or-nothing; this package wraps them with per-file error isolation:
+//
+//   - every file that fails to read, decode or validate is quarantined
+//     into the Report with its path, failing stage and error, instead of
+//     aborting the whole load (Lenient policy, the default) — or aborts
+//     immediately under the Strict policy, preserving the historical
+//     behavior;
+//   - duplicate profiles — two files claiming the same (app,
+//     configuration, rank, repetition) — are detected and the later file
+//     quarantined, so retried jobs cannot double-count a measurement;
+//   - after loading, the degradation Gate decides whether the surviving
+//     set is still modelable: every application must keep at least the
+//     paper's minimum number of distinct configurations (five, to
+//     separate logarithmic, linear and polynomial growth). If not, Gate
+//     returns one aggregate error listing every quarantined file; if so,
+//     it reports warnings for configurations that lost files.
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"extradeep/internal/importer"
+	"extradeep/internal/measurement"
+	"extradeep/internal/profile"
+)
+
+// Policy selects how per-file load failures are handled.
+type Policy int
+
+const (
+	// Lenient quarantines files that fail to load and continues with the
+	// rest. This is the default: one corrupted file must not discard an
+	// entire measurement campaign.
+	Lenient Policy = iota
+	// Strict aborts on the first file that fails to load, the historical
+	// all-or-nothing behavior.
+	Strict
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Strict {
+		return "strict"
+	}
+	return "lenient"
+}
+
+// Stage locates where in the loading pipeline a file failed.
+type Stage int
+
+const (
+	// StageRead covers I/O failures: the file could not be read at all.
+	StageRead Stage = iota
+	// StageDecode covers syntactic failures: the bytes are not a
+	// well-formed JSON or CSV profile.
+	StageDecode
+	// StageValidate covers semantic failures: the profile decoded but
+	// violates an invariant (non-finite metrics, malformed spans,
+	// duplicate identity).
+	StageValidate
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageRead:
+		return "read"
+	case StageDecode:
+		return "decode"
+	case StageValidate:
+		return "validate"
+	default:
+		return "unknown"
+	}
+}
+
+// Quarantined records one file excluded from the analysis.
+type Quarantined struct {
+	// Path is the file that failed.
+	Path string
+	// Stage is the loading stage the failure occurred in.
+	Stage Stage
+	// Err is the underlying error.
+	Err error
+}
+
+// Error formats the quarantine entry as path: stage: cause.
+func (q Quarantined) Error() string {
+	return fmt.Sprintf("%s: %s: %v", q.Path, q.Stage, q.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (q Quarantined) Unwrap() error { return q.Err }
+
+// Options tunes the ingestion behavior.
+type Options struct {
+	// Policy is Lenient (default) or Strict.
+	Policy Policy
+	// MinConfigurations is the per-application minimum of distinct
+	// configurations the degradation gate requires; 0 means the paper's
+	// measurement.MinModelingPoints.
+	MinConfigurations int
+}
+
+func (o Options) minConfigs() int {
+	if o.MinConfigurations <= 0 {
+		return measurement.MinModelingPoints
+	}
+	return o.MinConfigurations
+}
+
+// Report is the outcome of one directory ingestion.
+type Report struct {
+	// Profiles are the successfully loaded profiles, in file-name order.
+	Profiles []*profile.Profile
+	// Quarantined are the files excluded from the analysis, in file-name
+	// order.
+	Quarantined []Quarantined
+	// Warnings are degradation notes produced by Gate: the set is still
+	// modelable, but less robust than a complete campaign.
+	Warnings []string
+	// Dir and Format record what was loaded.
+	Dir    string
+	Format string
+}
+
+// LoadDir loads every profile of the given format ("json" or "csv") from
+// dir under the options' policy. An unreadable directory or an unknown
+// format is an error under either policy; per-file failures are
+// quarantined (Lenient) or returned immediately (Strict).
+func LoadDir(dir, format string, opts Options) (*Report, error) {
+	var ext string
+	switch format {
+	case "json":
+		ext = ".json"
+	case "csv":
+		ext = ".csv"
+	default:
+		return nil, fmt.Errorf("ingest: unknown profile format %q (have json, csv)", format)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listing %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ext) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	rep := &Report{Dir: dir, Format: format}
+	seen := make(map[identity]string, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		p, stage, err := loadFile(path, format)
+		if err == nil {
+			id := identityOf(p)
+			if prev, dup := seen[id]; dup {
+				stage = StageValidate
+				err = fmt.Errorf("duplicate profile: %s already provides %s x%s rank %d rep %d",
+					prev, p.App, measurement.Point(p.Config).Key(), p.Rank, p.Rep)
+			} else {
+				seen[id] = path
+			}
+		}
+		if err != nil {
+			q := Quarantined{Path: path, Stage: stage, Err: err}
+			if opts.Policy == Strict {
+				return nil, fmt.Errorf("ingest: %w", q)
+			}
+			rep.Quarantined = append(rep.Quarantined, q)
+			continue
+		}
+		rep.Profiles = append(rep.Profiles, p)
+	}
+	return rep, nil
+}
+
+// identity is the uniqueness key of a profile within a campaign.
+type identity struct {
+	app   string
+	point string
+	rank  int
+	rep   int
+}
+
+func identityOf(p *profile.Profile) identity {
+	return identity{app: p.App, point: measurement.Point(p.Config).Key(), rank: p.Rank, rep: p.Rep}
+}
+
+// loadFile loads one profile file and classifies any failure by stage.
+func loadFile(path, format string) (*profile.Profile, Stage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, StageRead, err
+	}
+	if format == "json" {
+		var p profile.Profile
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, StageDecode, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, StageValidate, err
+		}
+		return &p, 0, nil
+	}
+	p, err := importer.ReadCSV(strings.NewReader(string(data)))
+	if err != nil {
+		if errors.Is(err, importer.ErrFormat) {
+			return nil, StageDecode, err
+		}
+		return nil, StageValidate, err
+	}
+	return p, 0, nil
+}
+
+// Gate applies the degradation policy to the loaded set: it decides
+// whether the surviving profiles are still modelable. On success it
+// records warnings on the report (configurations that lost repetitions or
+// disappeared entirely); on failure it returns a single aggregate error
+// that names every quarantined file, so the operator sees the full damage
+// in one message.
+func (r *Report) Gate(opts Options) error {
+	if len(r.Profiles) == 0 {
+		base := fmt.Errorf("ingest: no usable profiles in %s (%d file(s) quarantined)", r.Dir, len(r.Quarantined))
+		return r.aggregate(base)
+	}
+	groups := profile.GroupByConfig(r.Profiles)
+	keys := profile.SortedKeys(groups)
+
+	perApp := map[string]int{}
+	for _, k := range keys {
+		perApp[k.App]++
+	}
+	apps := make([]string, 0, len(perApp))
+	for app := range perApp {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	var errs []error
+	for _, app := range apps {
+		if n := perApp[app]; n < opts.minConfigs() {
+			errs = append(errs, fmt.Errorf(
+				"ingest: %s has %d usable configuration(s) after quarantine; modeling needs at least %d",
+				app, n, opts.minConfigs()))
+		}
+	}
+	if len(errs) > 0 {
+		return r.aggregate(errs...)
+	}
+
+	// The set is modelable; degrade gracefully with visible warnings.
+	r.Warnings = r.Warnings[:0]
+
+	// Configurations whose files were all quarantined: recover the
+	// identity from the canonical file name where possible.
+	alive := make(map[profile.ConfigKey]bool, len(keys))
+	for _, k := range keys {
+		alive[k] = true
+	}
+	lost := map[profile.ConfigKey]bool{}
+	for _, q := range r.Quarantined {
+		app, config, _, _, ok := profile.ParseFileName(q.Path)
+		if !ok {
+			continue
+		}
+		key := profile.ConfigKey{App: app, Point: measurement.Point(config).Key()}
+		if !alive[key] && !lost[key] {
+			lost[key] = true
+			r.Warnings = append(r.Warnings, fmt.Sprintf(
+				"configuration %s %s lost every profile to quarantine and is excluded from the model",
+				key.App, key.Point))
+		}
+	}
+
+	// Configurations that survived with fewer repetitions than the rest
+	// of the campaign: the medians there rest on thinner evidence.
+	maxReps := 0
+	reps := make(map[profile.ConfigKey]int, len(keys))
+	for _, k := range keys {
+		distinct := map[int]bool{}
+		for _, p := range groups[k] {
+			distinct[p.Rep] = true
+		}
+		reps[k] = len(distinct)
+		if len(distinct) > maxReps {
+			maxReps = len(distinct)
+		}
+	}
+	for _, k := range keys {
+		if reps[k] < maxReps {
+			r.Warnings = append(r.Warnings, fmt.Sprintf(
+				"configuration %s %s has only %d repetition(s) while others have %d: its medians are less robust",
+				k.App, k.Point, reps[k], maxReps))
+		}
+	}
+	return nil
+}
+
+// aggregate joins the given errors with one error per quarantined file
+// into a single multi-error.
+func (r *Report) aggregate(errs ...error) error {
+	all := make([]error, 0, len(errs)+len(r.Quarantined))
+	all = append(all, errs...)
+	for _, q := range r.Quarantined {
+		all = append(all, q)
+	}
+	return errors.Join(all...)
+}
+
+// Summary renders the quarantine outcome for terminal output; it is empty
+// when every file loaded cleanly.
+func (r *Report) Summary() string {
+	if len(r.Quarantined) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantined %d of %d profile file(s):\n",
+		len(r.Quarantined), len(r.Quarantined)+len(r.Profiles))
+	for _, q := range r.Quarantined {
+		fmt.Fprintf(&b, "  %s [%s stage]: %v\n", q.Path, q.Stage, q.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extradeep/internal/faults"
+)
+
+// nonFinite reports whether any numeric field of the profile is NaN/Inf.
+func nonFinite(p *Profile) bool {
+	bad := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if bad(p.WallTime) || bad(p.Config...) {
+		return true
+	}
+	for _, e := range p.Trace.Events {
+		if bad(e.Start, e.Duration, e.Bytes) {
+			return true
+		}
+	}
+	for _, s := range p.Trace.Steps {
+		if bad(s.Start, s.End) {
+			return true
+		}
+	}
+	for _, ep := range p.Trace.Epochs {
+		if bad(ep.Start, ep.End) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzProfileRead asserts the loader invariant on arbitrary file bytes:
+// Read returns either a valid, all-finite profile or an error — it never
+// panics and never smuggles NaN/Inf into the pipeline.
+func FuzzProfileRead(f *testing.F) {
+	valid, err := json.Marshal(validProfile(0, 1, 4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, k := range faults.Kinds() {
+		mutated, err := faults.Apply(k, valid, "json")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(mutated)
+	}
+	f.Add([]byte("{not json"))
+	f.Add([]byte(`{"app":"x","params":["p"],"config":[1e308],"rank":0,"rep":1}`))
+	f.Add([]byte(`{"app":"x","rep":1,"trace":{"steps":[{"start":5,"end":1}]}}`))
+
+	// One scratch file per worker process: os.WriteFile truncates, so
+	// reusing the path is safe and keeps the fuzz loop I/O-light.
+	path := filepath.Join(f.TempDir(), "fuzz.json")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Read(path)
+		if err != nil {
+			return // rejected input: the other half of the invariant
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid profile: %v", verr)
+		}
+		if nonFinite(p) {
+			t.Fatalf("Read smuggled a non-finite value: %+v", p)
+		}
+	})
+}

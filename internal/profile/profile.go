@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,7 +46,10 @@ type Profile struct {
 // point.
 func (p *Profile) Point() measurement.Point { return measurement.Point(p.Config).Clone() }
 
-// Validate checks the profile's structural integrity.
+// Validate checks the profile's structural integrity, including that every
+// numeric field is a finite number: a NaN or Inf configuration value or
+// wall time would poison the modeling pipeline without ever failing a
+// decode, so it is rejected here at the boundary.
 func (p *Profile) Validate() error {
 	if p.App == "" {
 		return errors.New("profile: empty application name")
@@ -53,11 +57,19 @@ func (p *Profile) Validate() error {
 	if len(p.Params) != len(p.Config) {
 		return fmt.Errorf("profile: %d parameter names for %d values", len(p.Params), len(p.Config))
 	}
+	for i, v := range p.Config {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("profile: non-finite configuration value %v for parameter %d", v, i)
+		}
+	}
 	if p.Rank < 0 {
 		return fmt.Errorf("profile: negative rank %d", p.Rank)
 	}
 	if p.Rep < 1 {
 		return fmt.Errorf("profile: repetition index %d (must be ≥ 1)", p.Rep)
+	}
+	if math.IsNaN(p.WallTime) || math.IsInf(p.WallTime, 0) || p.WallTime < 0 {
+		return fmt.Errorf("profile: invalid wall time %v", p.WallTime)
 	}
 	return p.Trace.Validate()
 }
@@ -75,6 +87,56 @@ func FileName(app string, config []float64, rank, rep int) string {
 
 // FileName returns the profile's canonical file name.
 func (p *Profile) FileName() string { return FileName(p.App, p.Config, p.Rank, p.Rep) }
+
+// ParseFileName parses a canonical profile file name (any extension) back
+// into its parts. It is the inverse of FileName and lets diagnostics name
+// the application configuration a file belonged to even when the file
+// itself is too corrupted to decode. ok is false for names that do not
+// follow the app.x<config>.mpi<rank>.r<rep> convention.
+func ParseFileName(name string) (app string, config []float64, rank, rep int, ok bool) {
+	base := filepath.Base(name)
+	// Strip only known profile extensions: configuration values may contain
+	// dots ("imdb.x0.5.mpi10.r5"), so a generic Ext() strip would eat data.
+	for _, ext := range []string{".json", ".csv"} {
+		if strings.HasSuffix(base, ext) {
+			base = strings.TrimSuffix(base, ext)
+			break
+		}
+	}
+	// Parse right to left: .r<rep>, then .mpi<rank>, then .x<config>.
+	i := strings.LastIndex(base, ".r")
+	if i < 0 {
+		return "", nil, 0, 0, false
+	}
+	rep, err := strconv.Atoi(base[i+len(".r"):])
+	if err != nil || rep < 1 {
+		return "", nil, 0, 0, false
+	}
+	base = base[:i]
+	i = strings.LastIndex(base, ".mpi")
+	if i < 0 {
+		return "", nil, 0, 0, false
+	}
+	rank, err = strconv.Atoi(base[i+len(".mpi"):])
+	if err != nil || rank < 0 {
+		return "", nil, 0, 0, false
+	}
+	base = base[:i]
+	i = strings.LastIndex(base, ".x")
+	if i <= 0 { // the app name must be non-empty
+		return "", nil, 0, 0, false
+	}
+	for _, part := range strings.Split(base[i+len(".x"):], "_") {
+		v, err := strconv.ParseFloat(part, 64)
+		// ParseFloat accepts "NaN"/"Inf" and maps 1e999 to +Inf; a
+		// canonical name never carries a non-finite configuration value.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", nil, 0, 0, false
+		}
+		config = append(config, v)
+	}
+	return base[:i], config, rank, rep, true
+}
 
 // Store reads and writes profiles in a directory.
 type Store struct {

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -75,6 +76,91 @@ func TestProfileValidate(t *testing.T) {
 	p.Trace.Events[0].Duration = -1
 	if p.Validate() == nil {
 		t.Error("invalid trace accepted")
+	}
+}
+
+// TestParseFileName pins the inverse of FileName: every canonical name
+// round-trips, including multi-parameter configs and fractional values
+// whose decimal points must not be confused with name separators.
+func TestParseFileName(t *testing.T) {
+	cases := []struct {
+		app    string
+		config []float64
+		rank   int
+		rep    int
+	}{
+		{"cifar10", []float64{4}, 0, 1},
+		{"imagenet", []float64{4, 256}, 3, 2},
+		{"imdb", []float64{0.5}, 10, 5},
+		{"deep.v2", []float64{1.25, 8}, 0, 3},
+	}
+	for _, c := range cases {
+		name := FileName(c.app, c.config, c.rank, c.rep)
+		app, config, rank, rep, ok := ParseFileName(name)
+		if !ok {
+			t.Errorf("ParseFileName(%q) failed", name)
+			continue
+		}
+		if app != c.app || rank != c.rank || rep != c.rep || len(config) != len(c.config) {
+			t.Errorf("ParseFileName(%q) = %q %v %d %d", name, app, config, rank, rep)
+			continue
+		}
+		for i := range config {
+			if !mathutil.Close(config[i], c.config[i]) {
+				t.Errorf("ParseFileName(%q) config = %v, want %v", name, config, c.config)
+			}
+		}
+	}
+	// The CSV flavor of the canonical name parses too.
+	if app, _, _, _, ok := ParseFileName("cifar10.x4.mpi0.r1.csv"); !ok || app != "cifar10" {
+		t.Error("CSV extension rejected")
+	}
+}
+
+func TestParseFileNameRejectsNonCanonical(t *testing.T) {
+	for _, name := range []string{
+		"",
+		"README.txt",
+		"profile.json",
+		"app.mpi0.r1.json",        // no .x marker
+		"app.x4.r1.json",          // no .mpi marker
+		"app.x4.mpi0.json",        // no .r marker
+		"app.xfoo.mpi0.r1.json",   // non-numeric config
+		"app.x4.mpibad.r1.json",   // non-numeric rank
+		"app.x4.mpi0.rbad.json",   // non-numeric rep
+		".x4.mpi0.r1.json",        // empty app
+		"app.x4.mpi-1.r1.json",    // negative rank
+		"app.x4.mpi0.r0.json",     // rep below 1
+		"app.xNaN.mpi0.r1.json",   // non-finite config
+		"app.x1e999.mpi0.r1.json", // out-of-range config
+	} {
+		if _, _, _, _, ok := ParseFileName(name); ok {
+			t.Errorf("ParseFileName(%q) accepted non-canonical name", name)
+		}
+	}
+}
+
+func TestProfileValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(p *Profile)
+	}{
+		{"NaN config", func(p *Profile) { p.Config[0] = nan }},
+		{"Inf config", func(p *Profile) { p.Config[0] = math.Inf(1) }},
+		{"NaN wall time", func(p *Profile) { p.WallTime = nan }},
+		{"Inf wall time", func(p *Profile) { p.WallTime = math.Inf(-1) }},
+		{"negative wall time", func(p *Profile) { p.WallTime = -1 }},
+		{"NaN event duration", func(p *Profile) { p.Trace.Events[0].Duration = nan }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validProfile(0, 1, 4)
+			c.mutate(p)
+			if p.Validate() == nil {
+				t.Error("non-finite profile accepted")
+			}
+		})
 	}
 }
 

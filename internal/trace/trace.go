@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"extradeep/internal/calltree"
@@ -116,19 +117,44 @@ func (t *Trace) Sort() {
 	sort.SliceStable(t.Epochs, func(i, j int) bool { return t.Epochs[i].Start < t.Epochs[j].Start })
 }
 
+// finite reports whether every value is a finite number (not NaN or ±Inf).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks structural invariants: spans are well-formed, steps are
 // non-overlapping and ordered, step spans nest inside their epoch span,
-// events have non-negative durations.
+// events have non-negative durations, and every metric value is a finite
+// number — a NaN or Inf admitted here would silently poison every median
+// downstream, so corrupted measurements are rejected at the boundary.
 func (t *Trace) Validate() error {
 	for i, e := range t.Events {
+		if !finite(e.Start, e.Duration, e.Bytes) {
+			return fmt.Errorf("trace: event %d (%s) has non-finite metric value (start %v, duration %v, bytes %v)",
+				i, e.Name, e.Start, e.Duration, e.Bytes)
+		}
 		if e.Duration < 0 {
 			return fmt.Errorf("trace: event %d (%s) has negative duration %v", i, e.Name, e.Duration)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("trace: event %d (%s) has negative byte count %v", i, e.Name, e.Bytes)
+		}
+		if e.Count < 0 {
+			return fmt.Errorf("trace: event %d (%s) has negative invocation count %d", i, e.Name, e.Count)
 		}
 		if e.Name == "" {
 			return fmt.Errorf("trace: event %d has no name", i)
 		}
 	}
 	for i, s := range t.Steps {
+		if !finite(s.Start, s.End) {
+			return fmt.Errorf("trace: step %d/%d has non-finite bounds [%v, %v]", s.Epoch, s.Index, s.Start, s.End)
+		}
 		if s.End < s.Start {
 			return fmt.Errorf("trace: step %d/%d ends before it starts", s.Epoch, s.Index)
 		}
@@ -138,6 +164,9 @@ func (t *Trace) Validate() error {
 	}
 	epochByIndex := make(map[int]EpochSpan, len(t.Epochs))
 	for _, e := range t.Epochs {
+		if !finite(e.Start, e.End) {
+			return fmt.Errorf("trace: epoch %d has non-finite bounds [%v, %v]", e.Index, e.Start, e.End)
+		}
 		if e.End < e.Start {
 			return fmt.Errorf("trace: epoch %d ends before it starts", e.Index)
 		}

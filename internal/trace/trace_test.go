@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 
 	"extradeep/internal/calltree"
@@ -134,6 +135,34 @@ func TestValidateRejectsInvertedSpans(t *testing.T) {
 	}
 	if tr2.Validate() == nil {
 		t.Error("inverted step accepted")
+	}
+}
+
+func TestValidateRejectsNonFiniteMetrics(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		mutate func(tr *Trace)
+	}{
+		{"NaN event start", func(tr *Trace) { tr.Events[0].Start = nan }},
+		{"Inf event duration", func(tr *Trace) { tr.Events[0].Duration = inf }},
+		{"NaN event bytes", func(tr *Trace) { tr.Events[0].Bytes = nan }},
+		{"negative event bytes", func(tr *Trace) { tr.Events[0].Bytes = -4096 }},
+		{"negative event count", func(tr *Trace) { tr.Events[0].Count = -1 }},
+		{"NaN step start", func(tr *Trace) { tr.Steps[0].Start = nan }},
+		{"Inf step end", func(tr *Trace) { tr.Steps[0].End = inf }},
+		{"NaN epoch start", func(tr *Trace) { tr.Epochs[0].Start = nan }},
+		{"-Inf epoch end", func(tr *Trace) { tr.Epochs[0].End = math.Inf(-1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := buildTestTrace()
+			c.mutate(tr)
+			if tr.Validate() == nil {
+				t.Error("corrupt metric accepted")
+			}
+		})
 	}
 }
 

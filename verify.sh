@@ -26,4 +26,11 @@ go test -race ./...
 echo "==> edlint ./..."
 go run ./cmd/edlint ./...
 
+# Fuzz smoke: the ingestion invariant ("valid profile or error — never a
+# panic, never a NaN smuggled into the pipeline") must survive a short
+# native-fuzzing burst on every loader fuzz target.
+echo "==> fuzz smoke (5s per target)"
+go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=5s ./internal/importer
+go test -run='^$' -fuzz='^FuzzProfileRead$' -fuzztime=5s ./internal/profile
+
 echo "verify.sh: all gates passed"
