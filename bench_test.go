@@ -8,6 +8,7 @@
 package extradeep_test
 
 import (
+	"fmt"
 	"testing"
 
 	"extradeep/internal/core"
@@ -342,5 +343,50 @@ func BenchmarkPipelineOnly(b *testing.B) {
 		if _, err := core.BuildModels(aggs, setup, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelFit measures the fit stage's worker-pool scaling: the
+// same multi-kernel campaign (cifar10, 5 configurations × 5 repetitions)
+// modeled sequentially (-j 1) and with growing pool sizes. The outputs are
+// byte-identical across pool sizes; only wall-clock should move.
+func BenchmarkParallelFit(b *testing.B) {
+	bench, err := engine.ByName("cifar10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.RunConfig{
+		System:      hardware.DEEP(),
+		Strategy:    parallel.DataParallel{FusionBuckets: 4},
+		WeakScaling: true,
+		Seed:        benchSeed,
+		SampleRanks: 4,
+	}
+	var allProfiles []*profile.Profile
+	for _, ranks := range []int{2, 4, 6, 8, 10} {
+		cfg.Ranks = ranks
+		for rep := 1; rep <= 5; rep++ {
+			ps, err := engine.Profile(bench, cfg, rep, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			allProfiles = append(allProfiles, ps...)
+		}
+	}
+	setup := engine.SetupFunc(bench, cfg.Strategy, true)
+	aggs, err := core.AggregateProfiles(allProfiles, core.DefaultOptions().Aggregation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildModels(aggs, setup, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"extradeep/internal/experiments"
+	"extradeep/internal/pipeline"
 	"extradeep/internal/report"
 )
 
@@ -30,6 +31,15 @@ import (
 type chart interface {
 	SVG() (string, error)
 }
+
+// teeObserver forwards stage events to two observers (the collector that
+// feeds the report sections and the optional -timings log).
+type teeObserver struct {
+	a, b pipeline.Observer
+}
+
+func (t teeObserver) StageStart(s pipeline.Stage)      { t.a.StageStart(s); t.b.StageStart(s) }
+func (t teeObserver) StageDone(st pipeline.StageStats) { t.a.StageDone(st); t.b.StageDone(st) }
 
 // outcome is one experiment's rendered artifacts.
 type outcome struct {
@@ -143,6 +153,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "base random seed for the simulated measurements")
 	plotsDir := flag.String("plots", "", "write the figures as SVG files into this directory")
 	htmlPath := flag.String("html", "", "write a self-contained HTML report to this file")
+	timings := flag.Bool("timings", false, "print per-stage observer lines to stderr")
 	flag.Parse()
 
 	wanted := make(map[string]bool)
@@ -177,18 +188,31 @@ func main() {
 		Title:    "Extra-Deep reproduction report",
 		Subtitle: fmt.Sprintf("simulated substrate, seed %d — see EXPERIMENTS.md for paper-vs-measured notes", *seed),
 	}
+	// Each experiment runs as one observed pipeline stage: the collector
+	// supplies the elapsed time for the report section, and -timings
+	// mirrors the same events to stderr — the sequencing/timing contract
+	// is the pipeline's, not re-implemented here.
+	collector := &pipeline.Collector{}
 	for _, r := range known {
 		if !all && !wanted[r.name] {
 			continue
 		}
-		start := time.Now()
-		out, err := r.run(*seed)
+		var out outcome
+		obs := pipeline.Observer(collector)
+		if *timings {
+			obs = teeObserver{collector, &pipeline.LogObserver{W: os.Stderr}}
+		}
+		err := pipeline.Observe(obs, pipeline.Stage(r.name), func() (pipeline.Counters, error) {
+			var err error
+			out, err = r.run(*seed)
+			return nil, err
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edbench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(out.text)
-		elapsed := time.Since(start)
+		elapsed := collector.Last().Duration
 		section := report.Section{Title: r.name, Text: out.text, Elapsed: elapsed}
 		stems := make([]string, 0, len(out.charts))
 		for stem := range out.charts {

@@ -31,11 +31,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"extradeep/internal/aggregate"
 	"extradeep/internal/analysis"
@@ -44,6 +44,8 @@ import (
 	"extradeep/internal/epoch"
 	"extradeep/internal/ingest"
 	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+	"extradeep/internal/pipeline"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
@@ -101,6 +103,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	loadModels := fs.String("models", "", "skip profiling/modeling and load previously saved models from this file (prediction-only mode)")
 	checkOnly := fs.Bool("check", false, "diagnose the profile set's measurement quality and exit")
 	strict := fs.Bool("strict", false, "abort on the first unreadable profile instead of quarantining it")
+	jobs := fs.Int("j", 0, "fit worker parallelism: 0 = all cores, 1 = sequential (output is identical either way)")
+	timings := fs.Bool("timings", false, "print per-stage timings and counters to stderr")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -121,11 +125,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *format != "json" && *format != "csv" {
 		return usage(fmt.Errorf("unknown profile format %q (have json, csv)", *format))
 	}
+
+	// The staged analysis pipeline: Ingest → Aggregate → Epoch → Fit →
+	// Analyze → Report. -j bounds the fit worker pool; -timings exposes
+	// the per-stage observer on stderr.
+	var obs pipeline.Observer
+	if *timings {
+		obs = &pipeline.LogObserver{W: stderr}
+	}
+	pl := pipeline.New(pipeline.Config{
+		Workers:     *jobs,
+		Aggregation: aggregate.DefaultOptions(),
+		Modeling:    modeling.DefaultOptions(),
+		Observer:    obs,
+	})
+	ctx := context.Background()
+
 	opts := ingest.Options{Policy: ingest.Lenient}
 	if *strict {
 		opts.Policy = ingest.Strict
 	}
-	report, err := ingest.LoadDir(*profilesDir, *format, opts)
+	report, err := pl.Ingest(ctx, *profilesDir, *format, opts)
 	if err != nil {
 		sayln(stderr, "extradeep:", err)
 		return exitNoData
@@ -161,13 +181,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usage(err)
 	}
 
-	aggs, err := core.AggregateProfiles(profiles, aggregate.DefaultOptions())
+	aggs, err := pl.Aggregate(ctx, profiles)
 	if err != nil {
 		return fail(err)
 	}
 	sayf(stdout, "aggregated %d application configurations\n", len(aggs))
 
-	models, err := core.BuildModels(aggs, setup, core.DefaultOptions())
+	models, err := pl.BuildModels(ctx, aggs, setup)
 	if err != nil {
 		return fail(err)
 	}
@@ -179,82 +199,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			models.KernelCount(), len(models.App), *saveModels)
 	}
 
-	// --- application models --------------------------------------------
-	sayln(stdout, "\napplication models (training time per epoch):")
-	for _, path := range []string{epoch.AppPath, epoch.CompPath, epoch.CommPath, epoch.MemPath} {
-		if m, ok := models.App[path]; ok {
-			sayf(stdout, "  %-20s T(p) = %s   (CV-SMAPE %.2f%%, R² %.4f)\n", path, m.Function, m.SMAPE, m.R2)
-		}
-	}
-
-	// --- kernel bottleneck ranking --------------------------------------
-	timeModels := models.Kernel[measurement.MetricTime]
-	points := aggs[0].Point
-	baseline := points.Clone()
-	maxPoint := aggs[len(aggs)-1].Point.Clone()
-	ranked := analysis.RankByGrowth(timeModels, baseline, maxPoint)
-	sayf(stdout, "\ntop %d kernels by growth trend (%s -> %s):\n", *topKernels, baseline.Key(), maxPoint.Key())
-	for i, k := range ranked {
-		if i >= *topKernels {
-			break
-		}
-		sayf(stdout, "  %2d. %-55s ×%-8.2f %s  %s\n", i+1, k.Callpath, k.GrowthFactor, k.Growth, k.Model.Function)
-	}
-
-	// Kernels ranked by achieved speedup: which functions benefit least
-	// from scaling up (Section 3.1)?
-	bySpeedup := analysis.RankBySpeedup(timeModels, baseline, maxPoint)
-	if n := len(bySpeedup); n > 0 {
-		sayf(stdout, "\nkernels benefiting least from scaling up (Δ %s -> %s):\n", baseline.Key(), maxPoint.Key())
-		shown := 0
-		for i := n - 1; i >= 0 && shown < 5; i-- {
-			k := bySpeedup[i]
-			sayf(stdout, "  %-55s Δ = %+.1f%%\n", k.Callpath, k.SpeedupPct)
-			shown++
-		}
-	}
-
-	appModel, ok := models.App[epoch.AppPath]
-	if !ok {
-		return fail(fmt.Errorf("no application runtime model"))
-	}
-
-	// --- optional prediction (Q1) ---------------------------------------
-	if *predict > 0 {
-		lo, hi := appModel.PredictInterval(0.95, *predict)
-		sayf(stdout, "\npredicted training time per epoch @ %.0f ranks: %.2f s (95%% CI [%.2f, %.2f])\n",
-			*predict, appModel.Predict(*predict), lo, hi)
-	}
-
-	// --- speedup / efficiency / cost ------------------------------------
+	// --- analysis & report (Sections 3.1–3.3, Q1–Q5) --------------------
 	sys, err := hardware.ByName(*systemName)
 	if err != nil {
 		return usage(err)
 	}
-	var xs []float64
-	for _, agg := range aggs {
-		xs = append(xs, agg.Point[0])
-	}
-	sort.Float64s(xs)
-	effs, err := analysis.Efficiencies(appModel.Function, xs)
+	ares, err := pl.Analyze(ctx, models, aggs, pipeline.AnalyzeOptions{
+		Predict:      *predict,
+		Budget:       *budget,
+		MaxTime:      *maxTime,
+		CoresPerRank: float64(sys.CoresPerRank),
+		TopKernels:   *topKernels,
+	})
 	if err != nil {
 		return fail(err)
 	}
-	cm := analysis.CostModel{Runtime: appModel.Function, CoresPerRank: float64(sys.CoresPerRank)}
-	sayln(stdout, "\nscalability and cost per measured configuration:")
-	sayf(stdout, "  %6s  %12s  %12s  %12s\n", "ranks", "T(p) [s]", "efficiency", "cost [core-h]")
-	for i, x := range xs {
-		sayf(stdout, "  %6.0f  %12.2f  %12.3f  %12.3f\n", x, appModel.Predict(x), effs[i], cm.CoreHours(x))
-	}
-
-	// --- cost-effective configuration (Q5) ------------------------------
-	best, err := analysis.MostCostEffective(appModel.Function, cm, xs, analysis.Constraint{MaxTime: *maxTime, Budget: *budget})
-	if err != nil {
-		sayf(stdout, "\ncost-effectiveness: %v\n", err)
-		return exitOK
-	}
-	sayf(stdout, "\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
-		best.Ranks, best.Time, best.Cost, best.Efficiency)
+	say(stdout, pl.Render(ares))
 	return exitOK
 }
 

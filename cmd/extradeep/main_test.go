@@ -151,3 +151,45 @@ func TestCheckModeRunsOnSurvivingProfiles(t *testing.T) {
 		t.Errorf("check output unexpected:\n%s", out)
 	}
 }
+
+// TestParallelFitOutputIsByteIdentical runs the quickstart-style analysis
+// sequentially and with a parallel fit pool and requires byte-identical
+// stdout — the pipeline's determinism contract at the CLI surface.
+func TestParallelFitOutputIsByteIdentical(t *testing.T) {
+	dir := writeCampaign(t)
+	args := func(jobs string) []string {
+		return []string{"-profiles", dir, "-benchmark", "imdb", "-j", jobs,
+			"-predict", "40", "-budget", "10", "-max-time", "600"}
+	}
+	var seq, par bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run(args("1"), &seq, &stderr); code != exitOK {
+		t.Fatalf("-j 1 exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if code := run(args("8"), &par, &stderr); code != exitOK {
+		t.Fatalf("-j 8 exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-j 1 and -j 8 reports differ:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestTimingsFlagEmitsStageLines checks the observer surface: -timings
+// prints one line per pipeline stage to stderr, none to stdout.
+func TestTimingsFlagEmitsStageLines(t *testing.T) {
+	dir := writeCampaign(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-benchmark", "imdb", "-timings"}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr.String())
+	}
+	for _, stage := range []string{"ingest", "aggregate", "epoch", "fit", "analyze", "report"} {
+		if !strings.Contains(stderr.String(), "stage "+stage+":") {
+			t.Errorf("stderr lacks stage %q line:\n%s", stage, stderr.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "stage ") {
+		t.Error("stage timing lines leaked to stdout")
+	}
+}

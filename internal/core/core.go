@@ -13,7 +13,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +21,7 @@ import (
 	"extradeep/internal/epoch"
 	"extradeep/internal/measurement"
 	"extradeep/internal/modeling"
+	"extradeep/internal/pipeline"
 	"extradeep/internal/profile"
 	"extradeep/internal/simulator/engine"
 )
@@ -34,6 +35,10 @@ type Options struct {
 	// MinConfigurations is the kernel-filtering threshold (step (4) of
 	// Fig. 2); 0 means the paper's 5.
 	MinConfigurations int
+	// Workers bounds the fit worker pool (see pipeline.Config.Workers):
+	// 1 runs sequentially, 0 uses all cores. Output is byte-identical for
+	// every value.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -45,103 +50,36 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) minConfigs() int {
-	if o.MinConfigurations <= 0 {
-		return measurement.MinModelingPoints
-	}
-	return o.MinConfigurations
-}
+// ModelSet holds every model created for one application. It is an alias
+// for the pipeline's model set: the staged pipeline owns model creation,
+// core keeps the name for its facade API.
+type ModelSet = pipeline.ModelSet
 
-// ModelSet holds every model created for one application.
-type ModelSet struct {
-	// Kernel maps metric → callpath → fitted model, one per application
-	// kernel that survived filtering.
-	Kernel map[measurement.Metric]map[string]*modeling.Model
-	// App maps the synthetic application callpaths (epoch.AppPath,
-	// epoch.CompPath, epoch.CommPath, epoch.MemPath) to their
-	// training-time-per-epoch models.
-	App map[string]*modeling.Model
-	// KernelExperiment and AppExperiment are the derived per-epoch
-	// measurement sets the models were fitted on.
-	KernelExperiment *measurement.Experiment
-	AppExperiment    *measurement.Experiment
-}
-
-// KernelCount returns the number of fitted kernel models across metrics.
-func (m *ModelSet) KernelCount() int {
-	n := 0
-	for _, byPath := range m.Kernel {
-		n += len(byPath)
-	}
-	return n
+// pipelineFor assembles the staged pipeline behind this facade.
+func (o Options) pipelineFor() *pipeline.Pipeline {
+	return pipeline.New(pipeline.Config{
+		Workers:           o.Workers,
+		Aggregation:       o.Aggregation,
+		Modeling:          o.Modeling,
+		MinConfigurations: o.MinConfigurations,
+	})
 }
 
 // AggregateProfiles groups raw profiles by configuration and runs the
 // Fig. 2 aggregation pipeline on each group, returning one aggregate per
 // application configuration, sorted by measurement point.
 func AggregateProfiles(profiles []*profile.Profile, opts aggregate.Options) ([]*aggregate.ConfigAggregate, error) {
-	if len(profiles) == 0 {
-		return nil, errors.New("core: no profiles")
-	}
-	groups := profile.GroupByConfig(profiles)
-	keys := profile.SortedKeys(groups)
-	aggs := make([]*aggregate.ConfigAggregate, 0, len(keys))
-	for _, key := range keys {
-		agg, err := aggregate.Aggregate(groups[key], opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: aggregating %s %s: %w", key.App, key.Point, err)
-		}
-		aggs = append(aggs, agg)
-	}
-	sort.SliceStable(aggs, func(i, j int) bool { return aggs[i].Point.Less(aggs[j].Point) })
-	return aggs, nil
+	p := pipeline.New(pipeline.Config{Aggregation: opts})
+	return p.Aggregate(context.Background(), profiles)
 }
 
 // BuildModels runs extrapolation and model fitting on aggregated
-// configurations. Kernels present in fewer than MinConfigurations
-// configurations are filtered out; kernels whose series cannot be modeled
-// (degenerate data) are skipped silently, mirroring the tool's behaviour.
+// configurations via the staged pipeline. Kernels present in fewer than
+// MinConfigurations configurations are filtered out; kernels whose series
+// cannot be modeled (degenerate data) are skipped silently, mirroring the
+// tool's behaviour.
 func BuildModels(aggs []*aggregate.ConfigAggregate, setup epoch.SetupFunc, opts Options) (*ModelSet, error) {
-	kernelExp, err := epoch.BuildKernelExperiment(aggs, setup)
-	if err != nil {
-		return nil, err
-	}
-	kernelExp.FilterInsufficient(opts.minConfigs())
-	appExp, err := epoch.BuildApplicationExperiment(aggs, setup)
-	if err != nil {
-		return nil, err
-	}
-
-	ms := &ModelSet{
-		Kernel:           make(map[measurement.Metric]map[string]*modeling.Model),
-		App:              make(map[string]*modeling.Model),
-		KernelExperiment: kernelExp,
-		AppExperiment:    appExp,
-	}
-	for _, metric := range kernelExp.Metrics() {
-		byPath := make(map[string]*modeling.Model)
-		for _, path := range kernelExp.Callpaths(metric) {
-			m, err := modeling.FitSeries(kernelExp.Series(metric, path), opts.Modeling)
-			if err != nil {
-				continue // unmodelable series (constant-zero, degenerate)
-			}
-			byPath[path] = m
-		}
-		if len(byPath) > 0 {
-			ms.Kernel[metric] = byPath
-		}
-	}
-	for _, path := range appExp.Callpaths(measurement.MetricTime) {
-		m, err := modeling.FitSeries(appExp.Series(measurement.MetricTime, path), opts.Modeling)
-		if err != nil {
-			continue
-		}
-		ms.App[path] = m
-	}
-	if len(ms.App) == 0 {
-		return nil, errors.New("core: no application model could be created")
-	}
-	return ms, nil
+	return opts.pipelineFor().BuildModels(context.Background(), aggs, setup)
 }
 
 // Campaign describes one end-to-end measurement and modeling campaign on
@@ -249,6 +187,7 @@ func RunCampaign(c Campaign) (*CampaignResult, error) {
 	opts := c.Options
 	if opts.Modeling.PolyExponents == nil && opts.Modeling.MaxTerms == 0 {
 		opts = DefaultOptions()
+		opts.Workers = c.Options.Workers
 		if !c.Config.WeakScaling {
 			// Strong-scaling runtimes shrink with scale; the search space
 			// needs negative exponents to express that.

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
@@ -136,16 +139,21 @@ func (m *Model) PercentErrorAt(actual float64, params ...float64) float64 {
 // ErrTooFewPoints reports insufficient measurement points for modeling.
 var ErrTooFewPoints = measurement.ErrTooFewPoints
 
-// ErrNoHypothesis is returned when every generated hypothesis failed to
-// fit (e.g. degenerate inputs such as all-identical points).
+// ErrNoHypothesis is returned when the hypothesis set is empty or every
+// generated hypothesis failed to fit (e.g. degenerate inputs such as
+// all-identical points).
 var ErrNoHypothesis = errors.New("modeling: no fittable hypothesis")
+
+// ErrMismatchedLengths is returned when the number of points and the
+// number of observed values disagree.
+var ErrMismatchedLengths = errors.New("modeling: points/values length mismatch")
 
 // Fit creates a performance model from measurement points and their
 // aggregated observations. All points must have the same arity; the number
 // of distinct points must be at least Options.MinPoints (default 5).
 func Fit(points []measurement.Point, values []float64, opts Options) (*Model, error) {
 	if len(points) != len(values) {
-		return nil, fmt.Errorf("modeling: %d points but %d values", len(points), len(values))
+		return nil, fmt.Errorf("%w: %d points but %d values", ErrMismatchedLengths, len(points), len(values))
 	}
 	min := opts.MinPoints
 	if min == 0 {
@@ -185,7 +193,7 @@ func Fit(points []measurement.Point, values []float64, opts Options) (*Model, er
 
 	var hyps []hypothesis
 	if arity == 1 {
-		hyps = hypotheses(arity, opts)
+		hyps = hypothesesCached(arity, opts)
 	} else {
 		// Multi-parameter sparse modeling: a full cross product of shape
 		// combinations is quadratic in the (large) shape set and makes
@@ -194,6 +202,9 @@ func Fit(points []measurement.Point, values []float64, opts Options) (*Model, er
 		// hypotheses, then build combinations only from the best few
 		// shapes per parameter.
 		hyps = sparseHypotheses(arity, points, values, opts)
+	}
+	if len(hyps) == 0 {
+		return nil, ErrNoHypothesis
 	}
 	best, err := selectBest(points, values, hyps, opts)
 	if err != nil {
@@ -310,9 +321,42 @@ func axisLine(points []measurement.Point, values []float64, param int) ([]measur
 	return pts, vals
 }
 
+// The hypothesis search space depends only on the exponent sets and the
+// term budget, yet it used to be regenerated on every Fit call — once per
+// kernel × metric, thousands of times per analysis run. The caches below
+// memoize the expanded shapes and the single-parameter hypothesis list per
+// (arity, Options) signature. Cached slices are shared across goroutines
+// and must never be mutated by callers; the fitting code only reads them.
+var (
+	shapeCache      sync.Map // exponents key → []pmnf.Factor
+	hypothesisCache sync.Map // arity/terms/exponents key → []hypothesis
+)
+
+// exponentsKey canonicalizes the exponent sets of the options into a cache
+// key. Exponent order is preserved: a reordered set is a different (if
+// equivalent) search space and simply caches separately.
+func exponentsKey(opts Options) string {
+	var b strings.Builder
+	for _, e := range opts.PolyExponents {
+		b.WriteString(strconv.FormatFloat(e, 'g', -1, 64))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, e := range opts.LogExponents {
+		b.WriteString(strconv.Itoa(e))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
 // shapeSet expands the exponent sets into the factor shapes of the search
-// space (excluding the constant).
+// space (excluding the constant), memoized per exponent signature. The
+// returned slice is shared — callers must not modify it.
 func shapeSet(opts Options) []pmnf.Factor {
+	key := exponentsKey(opts)
+	if v, ok := shapeCache.Load(key); ok {
+		return v.([]pmnf.Factor)
+	}
 	shapes := make([]pmnf.Factor, 0, len(opts.PolyExponents)*len(opts.LogExponents))
 	for _, i := range opts.PolyExponents {
 		for _, j := range opts.LogExponents {
@@ -322,7 +366,21 @@ func shapeSet(opts Options) []pmnf.Factor {
 			shapes = append(shapes, pmnf.Factor{PolyExp: i, LogExp: j})
 		}
 	}
+	shapeCache.Store(key, shapes)
 	return shapes
+}
+
+// hypothesesCached returns the memoized single-parameter hypothesis space
+// for the given arity and options. The returned slice is shared — callers
+// must not modify it.
+func hypothesesCached(arity int, opts Options) []hypothesis {
+	key := strconv.Itoa(arity) + "#" + strconv.Itoa(opts.MaxTerms) + "#" + exponentsKey(opts)
+	if v, ok := hypothesisCache.Load(key); ok {
+		return v.([]hypothesis)
+	}
+	hyps := hypotheses(arity, opts)
+	hypothesisCache.Store(key, hyps)
+	return hyps
 }
 
 // FitSeries aggregates each sample of the series (median by default, mean

@@ -409,3 +409,79 @@ func TestFitRecoversRandomShapes(t *testing.T) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Regression tests for the typed error contract: Fit/FitSeries surface
+// sentinel errors instead of relying on downstream guards.
+// ---------------------------------------------------------------------
+
+func TestFitMismatchedLengthsIsTypedError(t *testing.T) {
+	_, err := Fit(points1D(2, 4, 8, 16, 32), []float64{1, 2}, DefaultOptions())
+	if !errors.Is(err, ErrMismatchedLengths) {
+		t.Errorf("err = %v, want ErrMismatchedLengths", err)
+	}
+	_, err = Fit(nil, []float64{1}, DefaultOptions())
+	if !errors.Is(err, ErrMismatchedLengths) {
+		t.Errorf("nil points: err = %v, want ErrMismatchedLengths", err)
+	}
+}
+
+func TestFitDegenerateValuesIsNoHypothesis(t *testing.T) {
+	// NaN observations make every hypothesis (including the constant)
+	// unfittable; the typed sentinel must surface rather than a nil-model
+	// panic downstream.
+	vals := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	_, err := Fit(points1D(2, 4, 8, 16, 32), vals, DefaultOptions())
+	if !errors.Is(err, ErrNoHypothesis) {
+		t.Errorf("err = %v, want ErrNoHypothesis", err)
+	}
+}
+
+func TestFitSeriesSurfacesNoHypothesis(t *testing.T) {
+	var s measurement.Series
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		s.Add(measurement.Point{x}, math.NaN())
+	}
+	if _, err := FitSeries(&s, DefaultOptions()); !errors.Is(err, ErrNoHypothesis) {
+		t.Errorf("err = %v, want ErrNoHypothesis", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Hypothesis-space memoization: repeated Fit calls with equal options
+// must reuse the cached search space and keep producing identical models.
+// ---------------------------------------------------------------------
+
+func TestHypothesisMemoizationReturnsSharedSpace(t *testing.T) {
+	opts := DefaultOptions()
+	h1 := hypothesesCached(1, opts)
+	h2 := hypothesesCached(1, opts)
+	if len(h1) == 0 || len(h1) != len(h2) {
+		t.Fatalf("cached hypothesis sets differ: %d vs %d", len(h1), len(h2))
+	}
+	if &h1[0] != &h2[0] {
+		t.Error("second lookup rebuilt the hypothesis space instead of reusing the cache")
+	}
+	s1 := shapeSet(opts)
+	s2 := shapeSet(opts)
+	if &s1[0] != &s2[0] {
+		t.Error("second shapeSet lookup rebuilt the shapes instead of reusing the cache")
+	}
+}
+
+func TestMemoizedFitMatchesFreshFit(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 32}
+	vals := evalAll(func(x float64) float64 { return 10 + 2*x }, xs...)
+	var first string
+	for i := 0; i < 3; i++ {
+		m, err := Fit(points1D(xs...), vals, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = m.Function.String()
+		} else if got := m.Function.String(); got != first {
+			t.Errorf("call %d: model %s, want %s", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"extradeep/internal/ingest"
+)
+
+// cancelOnStage is an Observer that cancels a context the moment a given
+// stage starts, simulating a caller abandoning the run mid-pipeline.
+type cancelOnStage struct {
+	stage  Stage
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnStage) StageStart(s Stage) {
+	if s == c.stage {
+		c.cancel()
+	}
+}
+
+func (c *cancelOnStage) StageDone(StageStats) {}
+
+// TestBuildModelsCancellationStopsFitPool cancels the context as the fit
+// stage begins: the worker pool must drain promptly, BuildModels must
+// surface ctx.Err(), and every worker goroutine must be joined.
+func TestBuildModelsCancellationStopsFitPool(t *testing.T) {
+	dir, setup := writeCampaign(t)
+	prep := New(Config{Workers: 1})
+	bg := context.Background()
+	rep, err := prep.Ingest(bg, dir, "json", ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := prep.Aggregate(bg, rep.Profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	obs := &cancelOnStage{stage: StageFit, cancel: cancel}
+	p := New(Config{Workers: 8, Observer: obs})
+	models, err := p.BuildModels(ctx, aggs, setup)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if models != nil {
+		t.Error("cancelled BuildModels returned a model set")
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestRunCancellationBeforeStart: a pre-cancelled context must stop the
+// pipeline at the first stage boundary without touching the filesystem
+// results.
+func TestRunCancellationBeforeStart(t *testing.T) {
+	dir, setup := writeCampaign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(Config{Workers: 4})
+	_, err := p.Run(ctx, testSpec(dir, setup))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"context"
+
+	"extradeep/internal/aggregate"
+	"extradeep/internal/epoch"
+	"extradeep/internal/ingest"
+)
+
+// RunSpec describes one end-to-end pipeline run from a profile directory
+// to the rendered report.
+type RunSpec struct {
+	// ProfilesDir and Format locate the profile set.
+	ProfilesDir string
+	Format      string
+	// Ingest configures quarantine policy and the degradation gate.
+	Ingest ingest.Options
+	// Setup derives the training-setup values per configuration
+	// (Section 2.3.1).
+	Setup epoch.SetupFunc
+	// Analyze configures the Section 3 questions.
+	Analyze AnalyzeOptions
+}
+
+// RunResult carries every intermediate artifact of a full run.
+type RunResult struct {
+	Ingest     *ingest.Report
+	Aggregates []*aggregate.ConfigAggregate
+	Models     *ModelSet
+	Analysis   *AnalysisResult
+	Report     string
+}
+
+// Run executes the full pipeline: Ingest (with gate) → Aggregate →
+// EpochExtrapolate → Fit → Analyze → Report. Gate refusals and ingest
+// failures surface with their ingest error types intact so callers keep
+// their exit-code semantics.
+func (p *Pipeline) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	res := &RunResult{}
+	var err error
+	if res.Ingest, err = p.Ingest(ctx, spec.ProfilesDir, spec.Format, spec.Ingest); err != nil {
+		return res, err
+	}
+	if err = res.Ingest.Gate(spec.Ingest); err != nil {
+		return res, err
+	}
+	if res.Aggregates, err = p.Aggregate(ctx, res.Ingest.Profiles); err != nil {
+		return res, err
+	}
+	if res.Models, err = p.BuildModels(ctx, res.Aggregates, spec.Setup); err != nil {
+		return res, err
+	}
+	if res.Analysis, err = p.Analyze(ctx, res.Models, res.Aggregates, spec.Analyze); err != nil {
+		return res, err
+	}
+	res.Report = p.Render(res.Analysis)
+	return res, nil
+}

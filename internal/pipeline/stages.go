@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"extradeep/internal/aggregate"
+	"extradeep/internal/epoch"
+	"extradeep/internal/ingest"
+	"extradeep/internal/measurement"
+	"extradeep/internal/modeling"
+	"extradeep/internal/profile"
+)
+
+// ModelSet holds every model created for one application. (It moved here
+// from internal/core when the fit stage became part of the pipeline;
+// core keeps a type alias for compatibility.)
+type ModelSet struct {
+	// Kernel maps metric → callpath → fitted model, one per application
+	// kernel that survived filtering.
+	Kernel map[measurement.Metric]map[string]*modeling.Model
+	// App maps the synthetic application callpaths (epoch.AppPath,
+	// epoch.CompPath, epoch.CommPath, epoch.MemPath) to their
+	// training-time-per-epoch models.
+	App map[string]*modeling.Model
+	// KernelExperiment and AppExperiment are the derived per-epoch
+	// measurement sets the models were fitted on.
+	KernelExperiment *measurement.Experiment
+	AppExperiment    *measurement.Experiment
+}
+
+// KernelCount returns the number of fitted kernel models across metrics.
+func (m *ModelSet) KernelCount() int {
+	n := 0
+	for _, byPath := range m.Kernel {
+		n += len(byPath)
+	}
+	return n
+}
+
+// Ingest is the pipeline's first stage: fault-tolerant profile loading
+// with quarantine (internal/ingest). The returned report, its warnings,
+// and the error semantics — including the degradation gate and
+// strict-mode abort — are exactly those of ingest.LoadDir; the pipeline
+// adds only stage timing and counters.
+func (p *Pipeline) Ingest(ctx context.Context, dir, format string, opts ingest.Options) (*ingest.Report, error) {
+	var report *ingest.Report
+	err := p.observe(StageIngest, func() (Counters, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		report, err = ingest.LoadDir(dir, format, opts)
+		if report == nil {
+			return nil, err
+		}
+		return Counters{
+			"loaded":      len(report.Profiles),
+			"quarantined": len(report.Quarantined),
+		}, err
+	})
+	return report, err
+}
+
+// Aggregate groups raw profiles by configuration and runs the Fig. 2
+// aggregation pipeline on each group, returning one aggregate per
+// application configuration, sorted by measurement point. The per-group
+// aggregations are independent and fan out across the worker pool.
+func (p *Pipeline) Aggregate(ctx context.Context, profiles []*profile.Profile) ([]*aggregate.ConfigAggregate, error) {
+	var aggs []*aggregate.ConfigAggregate
+	err := p.observe(StageAggregate, func() (Counters, error) {
+		if len(profiles) == 0 {
+			return nil, errors.New("pipeline: no profiles")
+		}
+		groups := profile.GroupByConfig(profiles)
+		keys := profile.SortedKeys(groups)
+		out := make([]*aggregate.ConfigAggregate, len(keys))
+		err := forEach(ctx, p.cfg.Workers, len(keys), func(i int) error {
+			agg, err := aggregate.Aggregate(groups[keys[i]], p.cfg.Aggregation)
+			if err != nil {
+				return fmt.Errorf("pipeline: aggregating %s %s: %w", keys[i].App, keys[i].Point, err)
+			}
+			out[i] = agg
+			return nil
+		})
+		if err != nil {
+			return Counters{"profiles": len(profiles)}, err
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Point.Less(out[j].Point) })
+		aggs = out
+		return Counters{"profiles": len(profiles), "configurations": len(out)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aggs, nil
+}
+
+// fitTask is one unit of the fit stage: a single (metric, callpath)
+// series to model. Tasks are enumerated in sorted order so the task list
+// — and therefore the result assembly — is identical for every worker
+// count.
+type fitTask struct {
+	metric measurement.Metric
+	path   string
+	series *measurement.Series
+	app    bool // application-level series (no silent-skip bookkeeping difference, only assembly target)
+}
+
+// BuildModels runs the EpochExtrapolate and Fit stages: it derives the
+// per-epoch kernel and application experiments from the aggregates
+// (Eqs. 2–4), filters kernels observed in too few configurations, and
+// fans the per-kernel PMNF hypothesis search (Eq. 5) out across the
+// worker pool. Kernels whose series cannot be modeled (degenerate data)
+// are skipped silently, mirroring the tool's historical behaviour.
+func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggregate, setup epoch.SetupFunc) (*ModelSet, error) {
+	minConfigs := p.cfg.MinConfigurations
+	if minConfigs <= 0 {
+		minConfigs = measurement.MinModelingPoints
+	}
+
+	var kernelExp, appExp *measurement.Experiment
+	err := p.observe(StageEpoch, func() (Counters, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		kernelExp, err = epoch.BuildKernelExperiment(aggs, setup)
+		if err != nil {
+			return nil, err
+		}
+		filtered := kernelExp.FilterInsufficient(minConfigs)
+		appExp, err = epoch.BuildApplicationExperiment(aggs, setup)
+		if err != nil {
+			return nil, err
+		}
+		return Counters{"configurations": len(aggs), "filtered_series": filtered}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ms := &ModelSet{
+		Kernel:           make(map[measurement.Metric]map[string]*modeling.Model),
+		App:              make(map[string]*modeling.Model),
+		KernelExperiment: kernelExp,
+		AppExperiment:    appExp,
+	}
+	err = p.observe(StageFit, func() (Counters, error) {
+		// Enumerate tasks in sorted (metric, callpath) order; Metrics()
+		// and Callpaths() already sort.
+		var tasks []fitTask
+		for _, metric := range kernelExp.Metrics() {
+			for _, path := range kernelExp.Callpaths(metric) {
+				tasks = append(tasks, fitTask{metric: metric, path: path, series: kernelExp.Series(metric, path)})
+			}
+		}
+		for _, path := range appExp.Callpaths(measurement.MetricTime) {
+			tasks = append(tasks, fitTask{metric: measurement.MetricTime, path: path, series: appExp.Series(measurement.MetricTime, path), app: true})
+		}
+
+		// Fan out: one slot per task, written only by its own goroutine.
+		models := make([]*modeling.Model, len(tasks))
+		err := forEach(ctx, p.cfg.Workers, len(tasks), func(i int) error {
+			m, err := modeling.FitSeries(tasks[i].series, p.cfg.Modeling)
+			if err != nil {
+				return nil // unmodelable series (constant-zero, degenerate): skip
+			}
+			models[i] = m
+			return nil
+		})
+		if err != nil {
+			return Counters{"tasks": len(tasks)}, err
+		}
+
+		// Deterministic reduction in task order.
+		fitted := 0
+		for i, t := range tasks {
+			if models[i] == nil {
+				continue
+			}
+			fitted++
+			if t.app {
+				ms.App[t.path] = models[i]
+				continue
+			}
+			byPath := ms.Kernel[t.metric]
+			if byPath == nil {
+				byPath = make(map[string]*modeling.Model)
+				ms.Kernel[t.metric] = byPath
+			}
+			byPath[t.path] = models[i]
+		}
+		if len(ms.App) == 0 {
+			return Counters{"tasks": len(tasks), "fitted": fitted},
+				errors.New("pipeline: no application model could be created")
+		}
+		return Counters{"tasks": len(tasks), "fitted": fitted, "skipped": len(tasks) - fitted}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ms, nil
+}

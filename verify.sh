@@ -23,6 +23,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The pipeline's concurrency contract (determinism across worker counts,
+# prompt cancellation, no goroutine leaks) gets an extra stress pass:
+# shuffled test order, run twice, under the race detector.
+echo "==> go test -race -shuffle=on -count=2 ./internal/pipeline/..."
+go test -race -shuffle=on -count=2 ./internal/pipeline/...
+
 echo "==> edlint ./..."
 go run ./cmd/edlint ./...
 
