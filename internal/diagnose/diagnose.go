@@ -200,7 +200,13 @@ func Check(profiles []*profile.Profile, opts Options) *Report {
 		if len(byRep) == 1 {
 			rep.add(Warning, subject, "single repetition: run-to-run variation cannot be assessed (the paper uses 5)")
 		}
-		for repIdx, ranks := range byRep {
+		repIdxs := make([]int, 0, len(byRep))
+		for repIdx := range byRep {
+			repIdxs = append(repIdxs, repIdx)
+		}
+		sort.Ints(repIdxs)
+		for _, repIdx := range repIdxs {
+			ranks := byRep[repIdx]
 			for r := 0; r <= maxRank; r++ {
 				if !ranks[r] {
 					rep.add(Warning, subject, "repetition %d is missing rank %d (ranks 0..%d seen elsewhere)", repIdx, r, maxRank)
@@ -249,7 +255,8 @@ func Check(profiles []*profile.Profile, opts Options) *Report {
 			rep.add(Error, subject, "aggregation failed: %v", err)
 			continue
 		}
-		for path, k := range agg.Kernels {
+		for _, path := range sortedPaths(agg.Kernels) {
+			k := agg.Kernels[path]
 			kernelConfigs[path]++
 			perRep := k.PerRep[measurement.MetricTime]
 			vals := make([]float64, 0, len(perRep))
@@ -281,6 +288,17 @@ func Check(profiles []*profile.Profile, opts Options) *Report {
 			kernelConfigs[path], len(keys))
 	}
 	return rep
+}
+
+// sortedPaths returns m's keys in sorted order, so findings are emitted
+// deterministically regardless of map iteration order.
+func sortedPaths[V any](m map[string]V) []string {
+	paths := make([]string, 0, len(m))
+	for path := range m {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // Render formats the report for terminal output.

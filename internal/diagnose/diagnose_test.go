@@ -2,6 +2,7 @@ package diagnose
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -109,6 +110,42 @@ func TestCheckMissingRank(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("missing-rank warning absent: %+v", rep.Warnings())
+	}
+}
+
+// TestCheckDeterministic pins the finding order of Check: per-repetition
+// and per-kernel findings are emitted in sorted order, not Go's randomized
+// map order, so the rendered diagnosis is byte-identical across runs.
+func TestCheckDeterministic(t *testing.T) {
+	ps := healthyProfiles(t)
+	// Drop one rank from each of the three repetitions of one
+	// configuration, so several repetition-keyed findings exist whose
+	// relative order a map range would randomize.
+	var subset []*profile.Profile
+	for _, p := range ps {
+		if mathutil.Close(p.Config[0], 4) && p.Rank == p.Rep-1 {
+			continue
+		}
+		subset = append(subset, p)
+	}
+	want := Check(subset, Options{}).Render()
+	for i := 0; i < 5; i++ {
+		if got := Check(subset, Options{}).Render(); got != want {
+			t.Fatalf("Check rendering differs between runs:\n--- first\n%s\n--- run %d\n%s", want, i+1, got)
+		}
+	}
+	// The repetition findings must appear in ascending repetition order.
+	var reps []string
+	for _, f := range Check(subset, Options{}).Warnings() {
+		if strings.Contains(f.Message, "is missing rank") {
+			reps = append(reps, f.Message[:strings.Index(f.Message, " is missing")])
+		}
+	}
+	if len(reps) < 2 {
+		t.Fatalf("expected several missing-rank warnings, got %v", reps)
+	}
+	if !sort.StringsAreSorted(reps) {
+		t.Errorf("missing-rank warnings not in repetition order: %v", reps)
 	}
 }
 
