@@ -95,6 +95,30 @@ func medianOf(xs []float64) float64 {
 	return m
 }
 
+// sortedRankCounts returns the rank counts of m in increasing order.
+// Per-node error buckets accumulate in this order; nodesOf can map two
+// rank counts to one node, so iteration order would otherwise leak into
+// the float summation order of downstream statistics.
+func sortedRankCounts(m map[int][]float64) []int {
+	ranks := make([]int, 0, len(m))
+	for r := range m {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// sortedCallpaths returns m's callpath keys in sorted order, so model
+// evaluation sweeps visit kernels deterministically.
+func sortedCallpaths[V any](m map[string]V) []string {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
 // Table is a minimal text-table renderer used by all experiment reports.
 type Table struct {
 	Header []string

@@ -129,7 +129,7 @@ func Figure5(seed int64, benchNames ...string) (*Figure5Result, error) {
 				if res == nil {
 					continue
 				}
-				for ranks := range res.AppActuals[epoch.AppPath] {
+				for _, ranks := range sortedRankCounts(res.AppActuals[epoch.AppPath]) {
 					if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
 						nodes := nodesOf(sys, ranks)
 						errsByNode[nodes] = append(errsByNode[nodes], e)
@@ -212,7 +212,7 @@ func Figure6(seed int64, benchNames ...string) (*Figure6Result, error) {
 				if res == nil {
 					continue
 				}
-				for ranks := range res.AppActuals[epoch.AppPath] {
+				for _, ranks := range sortedRankCounts(res.AppActuals[epoch.AppPath]) {
 					if e, ok := res.PercentError(epoch.AppPath, ranks); ok {
 						errsByNode[nodesOf(sys, ranks)] = append(errsByNode[nodesOf(sys, ranks)], e)
 					}

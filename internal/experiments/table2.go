@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"extradeep/internal/calltree"
@@ -122,8 +123,15 @@ func Table2(seed int64, benchNames ...string) (*Table2Result, error) {
 			}
 
 			_, evalRanks := modelingRanksFor(sys)
-			for metric, byPath := range res.Models.Kernel {
-				for path, model := range byPath {
+			metrics := make([]measurement.Metric, 0, len(res.Models.Kernel))
+			for metric := range res.Models.Kernel {
+				metrics = append(metrics, metric)
+			}
+			sort.Slice(metrics, func(i, j int) bool { return metrics[i] < metrics[j] })
+			for _, metric := range metrics {
+				byPath := res.Models.Kernel[metric]
+				for _, path := range sortedCallpaths(byPath) {
+					model := byPath[path]
 					group := table2Group(kinds[path])
 					if group == "" {
 						continue
