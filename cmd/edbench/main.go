@@ -164,7 +164,12 @@ func main() {
 
 	known := runners()
 	if !all {
+		wantedNames := make([]string, 0, len(wanted))
 		for name := range wanted {
+			wantedNames = append(wantedNames, name)
+		}
+		sort.Strings(wantedNames)
+		for _, name := range wantedNames {
 			found := false
 			for _, r := range known {
 				if r.name == name {
