@@ -321,12 +321,14 @@ func Aggregate(profiles []*profile.Profile, opts Options) (*ConfigAggregate, err
 				agg.ValidationSteps = len(valIdx)
 			}
 			sums := perStepSums(tr, skipEpochs, trainIdx, valIdx)
-			for key, byMetric := range sums.train {
+			for _, key := range sortedCallpathKeys(sums.train) {
+				byMetric := sums.train[key]
 				kinds[key] = sums.kinds[key]
 				names[key] = sums.names[key]
 				addRankValue(perRankTrain, key, byMetric, opts.UseMean)
 			}
-			for key, byMetric := range sums.validation {
+			for _, key := range sortedCallpathKeys(sums.validation) {
+				byMetric := sums.validation[key]
 				kinds[key] = sums.kinds[key]
 				names[key] = sums.names[key]
 				addRankValue(perRankVal, key, byMetric, opts.UseMean)
@@ -443,6 +445,18 @@ func Aggregate(profiles []*profile.Profile, opts Options) (*ConfigAggregate, err
 		}
 	}
 	return agg, nil
+}
+
+// sortedCallpathKeys returns m's callpath keys in sorted order, so
+// per-rank accumulation visits kernels deterministically regardless of
+// map iteration order.
+func sortedCallpathKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // addRankValue reduces per-step sums to one value per rank (step (2)'s
