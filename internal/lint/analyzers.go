@@ -10,12 +10,16 @@ import (
 // the set the self-check test and cmd/edlint enforce over the repository.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		DivGuard,
 		ErrCheck,
 		FloatEq,
 		LibPanic,
 		LogDomain,
+		MapOrder,
 		NaNInOut,
+		SendGuard,
+		WallClock,
 	}
 }
 

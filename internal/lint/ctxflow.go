@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxPolicedPackages are the concurrency-bearing packages whose goroutines
+// must all be cancellable: the staged pipeline and the facade that drives
+// it. DESIGN.md §9's cancellation contract ("prompt drain, no goroutine
+// leaks") is only as strong as context propagation into every spawn.
+var ctxPolicedPackages = []string{
+	"internal/pipeline",
+	"internal/core",
+}
+
+// CtxFlow enforces context propagation in the concurrency core. In the
+// policed packages it reports:
+//
+//   - a go statement whose spawned function neither receives nor captures
+//     any context.Context value — cancellation can never reach that
+//     goroutine, so it outlives the pipeline run it belongs to;
+//   - in non-test code, a context.Background() or context.TODO() call
+//     inside a function that has a context.Context parameter — the
+//     enclosing context (deadline, cancellation, values) is silently
+//     dropped instead of propagated.
+//
+// Deriving a context is fine: a goroutine that captures a child of ctx
+// (context.WithCancel(ctx), ...) mentions a context value and passes.
+// Genuinely detached goroutines must say why via
+// //edlint:ignore ctxflow <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "reports goroutines in the pipeline/core packages that do not " +
+		"receive a context.Context, and Background()/TODO() calls that " +
+		"drop an enclosing ctx parameter",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	path := strings.TrimSuffix(pass.Path, "_test")
+	policed := false
+	for _, p := range ctxPolicedPackages {
+		if strings.HasSuffix(path, p) {
+			policed = true
+			break
+		}
+	}
+	if !policed {
+		return
+	}
+	for _, file := range pass.Files {
+		eachTopFunc(file, func(fd *ast.FuncDecl) {
+			hasCtxParam := funcHasContextParam(pass, fd)
+			ast.Inspect(fd, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if !mentionsContextValue(pass, n.Call) {
+						pass.Reportf(n.Pos(),
+							"goroutine started without any context.Context; cancellation cannot reach it — capture ctx (or a context derived from it) so the pipeline's drain guarantee holds")
+					}
+				case *ast.CallExpr:
+					if inTestFile(pass.Fset, n.Pos()) {
+						return true // tests legitimately create root contexts
+					}
+					if name, ok := rootContextCall(pass, n); ok && hasCtxParam {
+						pass.Reportf(n.Pos(),
+							"context.%s() inside a function that already has a context.Context parameter drops the enclosing context; propagate the ctx parameter instead",
+							name)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// funcHasContextParam reports whether fd declares a context.Context
+// parameter (or receiver).
+func funcHasContextParam(pass *Pass, fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			if t := pass.TypeOf(f.Type); isContextType(t) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}
+
+// mentionsContextValue reports whether any expression within the spawned
+// call (the callee, its arguments, or a closure body) has type
+// context.Context.
+func mentionsContextValue(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if isContextType(pass.TypeOf(e)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootContextCall matches context.Background() and context.TODO().
+func rootContextCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -30,9 +30,16 @@ func TestGolden(t *testing.T) {
 		{"naninout", "fixture/internal/mathutil", []*Analyzer{NaNInOut}},
 		{"errcheck", "fixture/errcheck", []*Analyzer{ErrCheck}},
 		{"libpanic", "fixture/libpanic", []*Analyzer{LibPanic}},
-		// The ignore fixture exercises the suppression machinery against
+		{"maporder", "fixture/maporder", []*Analyzer{MapOrder}},
+		// ctxflow, wallclock and sendguard police specific import paths,
+		// so their fixtures are loaded under one of them.
+		{"ctxflow", "fixture/internal/pipeline", []*Analyzer{CtxFlow}},
+		{"wallclock", "fixture/internal/modeling", []*Analyzer{WallClock}},
+		{"sendguard", "fixture/internal/pipeline", []*Analyzer{SendGuard}},
+		// The ignore fixtures exercise the suppression machinery against
 		// the full default suite, so every analyzer name is "known".
 		{"ignore", "fixture/ignore", DefaultAnalyzers()},
+		{"ignorescope", "fixture/ignorescope", DefaultAnalyzers()},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -66,7 +73,7 @@ func TestGolden(t *testing.T) {
 				t.Errorf("diagnostics for %s diverge from %s\n--- got ---\n%s--- want ---\n%s",
 					tc.name, golden, got, want)
 			}
-			if !strings.Contains(got, tc.name+":") && tc.name != "ignore" {
+			if !strings.Contains(got, tc.name+":") && tc.name != "ignore" && tc.name != "ignorescope" {
 				t.Errorf("fixture %s produced no %s finding; every fixture must keep at least one true positive",
 					tc.name, tc.name)
 			}

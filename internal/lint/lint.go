@@ -4,21 +4,29 @@
 // analyzers tuned to the failure modes that silently corrupt empirical
 // performance models: float equality, unguarded divisions, logarithm
 // domain errors, NaN/Inf escaping exported numeric APIs, discarded errors,
-// and panics in library code.
+// panics in library code — and, via a small intra-procedural dataflow
+// core (dataflow.go) that tracks which values descend from a
+// nondeterminism source, map-iteration order reaching output (maporder),
+// goroutines outside context cancellation (ctxflow), wall-clock and rand
+// reads in the deterministic core (wallclock), and unguarded concurrency
+// acquire/release shapes (sendguard).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis at a
 // fraction of its surface: an Analyzer is a named Run function over a Pass,
 // a Pass wraps one type-checked package, and diagnostics carry positions.
-// Findings can be suppressed line-by-line with
+// Findings are suppressed with a mandatory reason at one of three scopes
 //
-//	//edlint:ignore <analyzer> <reason>
+//	//edlint:ignore <analyzer> <reason>        // its line and the line below
+//	//edlint:ignore-block <analyzer> <reason>  // the syntax node underneath
+//	//edlint:ignore-file <analyzer> <reason>   // the whole file
 //
-// placed on the offending line or the line directly above it; the reason
-// is mandatory and malformed directives are themselves diagnostics.
+// and malformed directives are themselves diagnostics (see suppress.go).
 //
 // Tier-1 enforcement lives in selfcheck_test.go, which loads the
 // surrounding module and fails `go test ./...` on any finding, so the
-// repository can never regress below a clean lint.
+// repository can never regress below a clean lint; verify.sh additionally
+// budgets the full-repo run (edlint-bench) and BENCH_lint.json tracks its
+// cost via BenchmarkLintRepo.
 package lint
 
 import (

@@ -72,6 +72,48 @@ func TestLoadDirRejectsTypeErrors(t *testing.T) {
 	}
 }
 
+func TestLoadModuleRejectsNoGoFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/empty\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModule(dir)
+	if err == nil {
+		t.Fatal("expected an error for a module without Go files")
+	}
+	if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("error = %v, want it to say the module has no Go files", err)
+	}
+}
+
+func TestLoadModuleReportsTypeErrorsWithPositions(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/broken\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package broken
+
+func f() int { return "a" }
+func g() int { return "b" }
+func h() int { return "c" }
+func i() int { return "d" }
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModule(dir)
+	if err == nil {
+		t.Fatal("expected type errors to fail the load")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "broken.go:3") {
+		t.Errorf("error lacks the first error position: %v", err)
+	}
+	if strings.Count(msg, "broken.go:") != 3 || !strings.Contains(msg, "1 more") {
+		t.Errorf("error should show three positioned errors and the remainder count: %v", err)
+	}
+}
+
 // parseOne parses src as a single in-memory file for directive tests.
 func parseOne(t *testing.T, fset *token.FileSet, src string) *ast.File {
 	t.Helper()
@@ -103,8 +145,8 @@ func f() {
 	if len(dirs) != 1 {
 		t.Fatalf("got %d well-formed directives, want 1: %+v", len(dirs), dirs)
 	}
-	if dirs[0].analyzer != "floateq" || dirs[0].line != 4 {
-		t.Errorf("directive = %+v, want floateq at line 4", dirs[0])
+	if dirs[0].analyzer != "floateq" || dirs[0].from != 4 || dirs[0].to != 5 {
+		t.Errorf("directive = %+v, want floateq covering lines 4-5", dirs[0])
 	}
 	if len(malformed) != 3 {
 		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(malformed), malformed)
@@ -125,7 +167,7 @@ func TestSuppressCoversLineAndLineBelow(t *testing.T) {
 			Message:  "m",
 		}
 	}
-	dirs := []directive{{analyzer: "floateq", file: "f.go", line: 10}}
+	dirs := []directive{{analyzer: "floateq", file: "f.go", from: 10, to: 11}}
 	diags := []Diagnostic{
 		mk(10, "floateq"),  // same line: suppressed
 		mk(11, "floateq"),  // line below: suppressed
@@ -138,6 +180,89 @@ func TestSuppressCoversLineAndLineBelow(t *testing.T) {
 	}
 	if kept[0].Pos.Line != 12 || kept[1].Analyzer != "divguard" {
 		t.Errorf("unexpected survivors: %v", kept)
+	}
+}
+
+func TestCollectDirectivesScopes(t *testing.T) {
+	src := `package p
+
+//edlint:ignore-file divguard generated lookup tables divide by constants
+
+//edlint:ignore-block floateq the loop compares table entries bit-exactly
+func f() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+//edlint:ignore-everything floateq no such scope
+func g() {}
+`
+	fset := token.NewFileSet()
+	f := parseOne(t, fset, src)
+	known := map[string]bool{"floateq": true, "divguard": true}
+	dirs, malformed := collectDirectives(fset, []*ast.File{f}, known)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(dirs), dirs)
+	}
+	if d := dirs[0]; d.analyzer != "divguard" || d.from != 1 || d.to != wholeFile {
+		t.Errorf("file directive = %+v, want divguard covering the whole file", d)
+	}
+	// The block directive sits above func f (lines 6-10): it must cover
+	// exactly that span, not just two lines and not the whole file.
+	if d := dirs[1]; d.analyzer != "floateq" || d.from != 6 || d.to != 10 {
+		t.Errorf("block directive = %+v, want floateq covering lines 6-10", d)
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "unknown ignore scope") {
+		t.Errorf("malformed = %v, want one unknown-scope diagnostic", malformed)
+	}
+}
+
+func TestSuppressScopes(t *testing.T) {
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "f.go", Line: line, Column: 1},
+			Analyzer: analyzer,
+			Message:  "m",
+		}
+	}
+	dirs := []directive{
+		{analyzer: "floateq", file: "f.go", from: 6, to: 10},         // block
+		{analyzer: "divguard", file: "f.go", from: 1, to: wholeFile}, // file
+	}
+	diags := []Diagnostic{
+		mk(6, "floateq"),    // block start: suppressed
+		mk(10, "floateq"),   // block end: suppressed
+		mk(11, "floateq"),   // past the block: kept
+		mk(999, "divguard"), // anywhere in the file: suppressed
+		mk(7, "logdomain"),  // other analyzer inside the block: kept
+	}
+	kept := suppress(diags, dirs)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Pos.Line != 11 || kept[1].Analyzer != "logdomain" {
+		t.Errorf("unexpected survivors: %v", kept)
+	}
+}
+
+func TestBlockSpanFallsBackWithoutNode(t *testing.T) {
+	src := `package p
+
+//edlint:ignore-block floateq floats below are table constants
+
+// (nothing starts on the next line either)
+
+var x = 1.0
+`
+	fset := token.NewFileSet()
+	f := parseOne(t, fset, src)
+	dirs, malformed := collectDirectives(fset, []*ast.File{f}, map[string]bool{"floateq": true})
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %v", malformed)
+	}
+	if len(dirs) != 1 || dirs[0].from != 3 || dirs[0].to != 4 {
+		t.Errorf("directive = %+v, want line-scope fallback covering 3-4", dirs)
 	}
 }
 

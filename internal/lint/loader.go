@@ -94,6 +94,9 @@ func LoadModule(root string) (*Module, error) {
 	if err := ld.scan(root, modPath); err != nil {
 		return nil, err
 	}
+	if len(ld.dirs) == 0 {
+		return nil, fmt.Errorf("lint: module %s at %s contains no Go files", modPath, root)
+	}
 
 	paths := make([]string, 0, len(ld.dirs))
 	for p := range ld.dirs {
@@ -273,7 +276,9 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// check type-checks one file set as the package at path.
+// check type-checks one file set as the package at path. On failure it
+// reports up to the first three positioned type errors, so the user sees
+// what to fix instead of a bare "type errors" or an empty package.
 func (ld *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
 	var errs []error
 	conf := types.Config{
@@ -282,7 +287,18 @@ func (ld *loader) check(path string, files []*ast.File, info *types.Info) (*type
 	}
 	pkg, err := conf.Check(path, ld.fset, files, info)
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("type errors: %v", errs[0])
+		const maxShown = 3
+		shown := errs
+		suffix := ""
+		if len(errs) > maxShown {
+			shown = errs[:maxShown]
+			suffix = fmt.Sprintf(" (and %d more)", len(errs)-maxShown)
+		}
+		msgs := make([]string, len(shown))
+		for i, e := range shown {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("type errors: %s%s", strings.Join(msgs, "; "), suffix)
 	}
 	if err != nil {
 		return nil, err

@@ -6,27 +6,39 @@ import (
 	"strings"
 )
 
-// ignorePrefix introduces a suppression directive. The full syntax is
+// Suppression directives silence findings with a mandatory reason — a
+// suppression that cannot say why it exists is itself a bug. Three scopes
+// exist, from narrowest to widest:
 //
 //	//edlint:ignore <analyzer> <reason>
+//	//edlint:ignore-block <analyzer> <reason>
+//	//edlint:ignore-file <analyzer> <reason>
 //
-// and the directive silences findings of <analyzer> on its own line and on
-// the line directly below it, so it works both as a trailing comment and
-// as a standalone comment above the offending statement. The reason is
-// mandatory: a suppression that cannot say why it exists is itself a bug.
+// The line form covers its own line and the line directly below it, so it
+// works both as a trailing comment and as a standalone comment above the
+// offending statement. The block form covers the whole source span of the
+// largest syntax node starting on its line or the line below — a trailing
+// comment on a `for` header or a standalone comment above a function
+// covers the entire loop or function. The file form covers its file.
+// Malformed directives (missing analyzer, missing reason, unknown
+// analyzer, unknown scope) are themselves diagnostics so they fail the
+// lint instead of silently suppressing nothing.
 const ignorePrefix = "edlint:ignore"
 
-// directive is one parsed ignore directive.
+// directive is one parsed ignore directive, resolved to the inclusive
+// line range [from, to] of its file that it covers.
 type directive struct {
 	analyzer string
 	file     string
-	line     int
+	from, to int
 }
 
-// collectDirectives parses every //edlint:ignore directive of the files.
-// Malformed directives (missing analyzer, missing reason, or naming an
-// analyzer that does not exist) are returned as diagnostics so they fail
-// the lint instead of silently suppressing nothing.
+// wholeFile marks a directive's `to` line as unbounded.
+const wholeFile = 1 << 30
+
+// collectDirectives parses every //edlint:ignore[-block|-file] directive
+// of the files and resolves each to the line range it covers. Malformed
+// directives are returned as "ignore" diagnostics.
 func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]directive, []Diagnostic) {
 	var dirs []directive
 	var malformed []Diagnostic
@@ -38,6 +50,20 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				scope := "line"
+				switch {
+				case strings.HasPrefix(text, "-block"):
+					scope, text = "block", strings.TrimPrefix(text, "-block")
+				case strings.HasPrefix(text, "-file"):
+					scope, text = "file", strings.TrimPrefix(text, "-file")
+				case strings.HasPrefix(text, "-"):
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "unknown ignore scope " + strings.Fields(text)[0] + ": want //edlint:ignore, //edlint:ignore-block or //edlint:ignore-file",
+					})
+					continue
+				}
 				fields := strings.Fields(text)
 				switch {
 				case len(fields) == 0:
@@ -62,35 +88,69 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					})
 					continue
 				}
-				dirs = append(dirs, directive{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+				d := directive{analyzer: fields[0], file: pos.Filename}
+				switch scope {
+				case "line":
+					d.from, d.to = pos.Line, pos.Line+1
+				case "block":
+					d.from, d.to = blockSpan(fset, f, pos.Line)
+				case "file":
+					d.from, d.to = 1, wholeFile
+				}
+				dirs = append(dirs, d)
 			}
 		}
 	}
 	return dirs, malformed
 }
 
+// blockSpan resolves the line range an ignore-block directive on dline
+// covers: the full span of the largest syntax node that starts on dline
+// (trailing comment on a statement or loop header) or on dline+1
+// (standalone comment above it). With no such node — a directive floating
+// in blank space — it degrades to the line form's coverage.
+func blockSpan(fset *token.FileSet, f *ast.File, dline int) (int, int) {
+	var best ast.Node
+	bestEnd := -1
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false // the directive itself is not a coverable block
+		}
+		if start := fset.Position(n.Pos()).Line; start == dline || start == dline+1 {
+			if end := fset.Position(n.End()).Line; end > bestEnd {
+				best, bestEnd = n, end
+			}
+		}
+		return true
+	})
+	if best == nil {
+		return dline, dline + 1
+	}
+	return fset.Position(best.Pos()).Line, bestEnd
+}
+
 // suppress drops diagnostics covered by a directive: same file, same
-// analyzer, and on the directive's line or the line directly below it.
+// analyzer, line within the directive's range.
 func suppress(diags []Diagnostic, dirs []directive) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
-	type key struct {
-		file     string
-		line     int
-		analyzer string
-	}
-	covered := make(map[key]bool, 2*len(dirs))
-	for _, d := range dirs {
-		covered[key{d.file, d.line, d.analyzer}] = true
-		covered[key{d.file, d.line + 1, d.analyzer}] = true
-	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			continue
+		covered := false
+		for _, dir := range dirs {
+			if dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename &&
+				d.Pos.Line >= dir.from && d.Pos.Line <= dir.to {
+				covered = true
+				break
+			}
 		}
-		kept = append(kept, d)
+		if !covered {
+			kept = append(kept, d)
+		}
 	}
 	return kept
 }

@@ -1,0 +1,67 @@
+// Package ctxflow is a fixture for the ctxflow analyzer. It is loaded
+// under an import path ending in internal/pipeline, one of the policed
+// concurrency packages: every goroutine must receive or capture a
+// context.Context, and an enclosing ctx parameter must not be shadowed by
+// a fresh root context.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+func work(ctx context.Context, out chan<- int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// BadDetached spawns a goroutine cancellation can never reach.
+func BadDetached(out chan<- int) {
+	go func() { // want: no context reaches the goroutine
+		out <- 1
+	}()
+}
+
+// GoodCapture captures ctx in the closure.
+func GoodCapture(ctx context.Context, out chan<- int) {
+	go func() { // ok: the closure selects on ctx.Done
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// GoodArgument passes ctx to the spawned function.
+func GoodArgument(ctx context.Context, out chan<- int) {
+	go work(ctx, out) // ok: ctx is an argument
+}
+
+// GoodDerived spawns with a context derived from ctx.
+func GoodDerived(ctx context.Context, out chan<- int) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go work(child, out) // ok: a child of ctx still carries cancellation
+}
+
+// BadRootContext drops the caller's deadline and cancellation.
+func BadRootContext(ctx context.Context) context.Context {
+	return context.Background() // want: enclosing ctx parameter is dropped
+}
+
+// GoodRootAtEntry creates a root context where none exists to propagate.
+func GoodRootAtEntry() context.Context {
+	return context.Background() // ok: no enclosing ctx to drop
+}
+
+// SuppressedJanitor is a deliberately detached background goroutine; the
+// suppression documents why it must outlive any one run.
+func SuppressedJanitor(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//edlint:ignore ctxflow process-lifetime janitor, shut down via the WaitGroup instead
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,53 @@
+// Package ignorescope is a fixture for the widened suppression scopes:
+// //edlint:ignore-block covers the syntax node below the directive,
+// //edlint:ignore-file covers its whole file, and an unknown scope suffix
+// is itself a finding. The file form is exercised for divguard, so the
+// divisions sprinkled through the file stay silent while floateq findings
+// outside the suppressed block survive.
+package ignorescope
+
+import "fmt"
+
+//edlint:ignore-file divguard fixture: every division in this file guards its denominator upstream
+
+// BlockSuppressed compares floats bit-exactly throughout; the block
+// directive covers the whole function, including the loop.
+//
+//edlint:ignore-block floateq fixture: the table is built from exact binary fractions
+func BlockSuppressed(table map[string]float64, probe float64) int {
+	hits := 0
+	for _, v := range table {
+		if v == probe { // ok: inside the suppressed block
+			hits++
+		}
+	}
+	if probe == 0.5 { // ok: still inside the suppressed block
+		hits++
+	}
+	return hits
+}
+
+// Survivor sits after the suppressed block, so its finding stays.
+func Survivor(a, b float64) bool {
+	return a == b // want: floateq outside any suppression
+}
+
+// FileScoped relies on the file-wide divguard directive.
+func FileScoped(sum, n float64) float64 {
+	return sum / n // ok: file-scoped divguard suppression
+}
+
+// EscapeHatch documents a maporder false positive: the print below emits
+// a constant string per iteration, so map order is unobservable, which
+// the intra-procedural analyzer cannot prove.
+func EscapeHatch(m map[string]int) {
+	//edlint:ignore-block maporder fixture: the loop prints one dot per entry, order cannot show
+	for range m {
+		fmt.Print(".") // ok: suppressed false positive
+	}
+}
+
+//edlint:ignore-everywhere floateq no such scope exists
+func UnknownScope(a, b float64) bool {
+	return a == b // want: the directive above is malformed, nothing is suppressed
+}

@@ -1,0 +1,100 @@
+// Package maporder is a fixture for the maporder analyzer: map iteration
+// order must not reach output sinks, unsorted accumulations, or
+// order-sensitive calls. The blessed idioms — append-then-sort, per-key
+// buckets, in-place per-value sorts — must stay silent.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Report mimics a findings accumulator whose add order is observable.
+type Report struct{ lines []string }
+
+// Add appends one line to the report.
+func (r *Report) Add(line string) { r.lines = append(r.lines, line) }
+
+// BadPrint emits entries in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want: sink inside a map range
+	}
+}
+
+// BadBuilder writes to a strings.Builder in map order.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want: method sink inside a map range
+	}
+	return b.String()
+}
+
+// BadAccumulate collects keys but never sorts them.
+func BadAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: unsorted accumulation
+	}
+	return keys
+}
+
+// GoodSortedKeys is the blessed append-then-sort idiom.
+func GoodSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodPerKeyBucket appends into the slot owned by the iteration key.
+func GoodPerKeyBucket(src map[string][]int, dst map[string][]int) {
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...) // ok: per-key bucket
+	}
+}
+
+// BadCollapsedBucket appends into a transformed index: distinct keys can
+// collide in one bucket, whose element order then follows the map.
+func BadCollapsedBucket(src map[string]int, dst map[int][]string) {
+	for k, v := range src {
+		dst[v%3] = append(dst[v%3], k) // want: collapsed bucket accumulates in map order
+	}
+}
+
+// BadMutatingCall feeds iteration-dependent state into a method call.
+func BadMutatingCall(m map[string]int, rep *Report) {
+	for k := range m {
+		rep.Add(k) // want: order-dependent mutation
+	}
+}
+
+// GoodPerValueSort sorts each map value in place: per-value work cannot
+// leak iteration order.
+func GoodPerValueSort(groups map[string][]int) {
+	for _, g := range groups {
+		sort.Ints(g) // ok: in-place per-value sort
+	}
+}
+
+// BadSyncMapRange writes to stdout from a sync.Map.Range callback.
+func BadSyncMapRange(m *sync.Map) {
+	m.Range(func(k, v any) bool {
+		fmt.Println(k, v) // want: sink inside sync.Map.Range
+		return true
+	})
+}
+
+// SuppressedSingleton iterates a map that holds at most one entry by
+// construction, so order cannot matter; the suppression documents that.
+func SuppressedSingleton(singleton map[string]int) {
+	for k, v := range singleton {
+		//edlint:ignore maporder the map holds at most one entry by construction
+		fmt.Printf("%s=%d\n", k, v) // ok: suppressed
+	}
+}

@@ -1,0 +1,91 @@
+// Package sendguard is a fixture for the sendguard analyzer. It is loaded
+// under an import path ending in internal/pipeline, one of the policed
+// concurrency packages: channel sends must race cancellation in a select,
+// WaitGroup counts must be acquired before spawn and released in a defer,
+// and locks must be followed by their deferred unlock.
+package sendguard
+
+import (
+	"context"
+	"sync"
+)
+
+// BadBareSend blocks forever once the receiver is gone.
+func BadBareSend(ctx context.Context, out chan<- int) {
+	out <- 1 // want: send outside a select
+	_ = ctx
+}
+
+// GoodSelectSend races the send against cancellation.
+func GoodSelectSend(ctx context.Context, out chan<- int) {
+	select {
+	case out <- 1: // ok: select case
+	case <-ctx.Done():
+	}
+}
+
+// BadUndeferredDone leaks the count on a panic inside work.
+func BadUndeferredDone(ctx context.Context, wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want: Done not deferred
+		_ = ctx
+	}()
+}
+
+// GoodDeferredDone releases the count on every path.
+func GoodDeferredDone(ctx context.Context, wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done() // ok: deferred release
+		work()
+		_ = ctx
+	}()
+}
+
+// BadAddInsideGoroutine lets Wait observe a zero counter before the
+// goroutine is counted.
+func BadAddInsideGoroutine(ctx context.Context, wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want: Add races Wait
+		defer wg.Done()
+		_ = ctx
+	}()
+}
+
+// BadAddWithoutDone acquires a count this function can never drain.
+func BadAddWithoutDone(wg *sync.WaitGroup) {
+	wg.Add(1) // want: no deferred Done anywhere
+}
+
+// Counter pairs a mutex with the state it guards.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadLockNoDefer deadlocks the next caller if the body panics.
+func (c *Counter) BadLockNoDefer() int {
+	c.mu.Lock() // want: no deferred Unlock follows
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// GoodLockDefer releases on every path.
+func (c *Counter) GoodLockDefer() int {
+	c.mu.Lock() // ok: deferred unlock on the next line
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// SuppressedBufferedSend cannot block: the channel is created one slot
+// larger than the number of sends, which the suppression documents.
+func SuppressedBufferedSend() <-chan int {
+	out := make(chan int, 1)
+	//edlint:ignore sendguard the buffer is sized to the single send above it
+	out <- 1 // ok: suppressed
+	close(out)
+	return out
+}

@@ -1,0 +1,60 @@
+// Package wallclock is a fixture for the wallclock analyzer. It is loaded
+// under an import path ending in internal/modeling, one of the packages of
+// the deterministic core: wall-clock reads and math/rand draws are
+// reported with the place the value lands, unless explicitly suppressed.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Model is a stand-in for a fitted model.
+type Model struct {
+	Coefficient float64
+	FittedAt    int64
+}
+
+// BadTimestampedFit stores the clock in a model field.
+func BadTimestampedFit(coef float64) *Model {
+	m := &Model{Coefficient: coef}
+	m.FittedAt = time.Now().UnixNano() // want: clock stored in model state
+	return m
+}
+
+// BadJitteredCoefficient perturbs a coefficient with an unseeded draw.
+func BadJitteredCoefficient(coef float64) float64 {
+	return coef + rand.Float64()*1e-9 // want: rand reaches a return value
+}
+
+// BadElapsedSelection breaks ties with elapsed wall time.
+func BadElapsedSelection(start time.Time, a, b float64) float64 {
+	if time.Since(start) > time.Second { // want: clock steers selection
+		return a
+	}
+	return b
+}
+
+// SeededRandStillFlagged threads an explicit seeded source; the draw is
+// still reported, because even a fixed seed makes the result depend on
+// the draw order — the deterministic core must not draw at all.
+func SeededRandStillFlagged(rng *rand.Rand) float64 {
+	return rng.Float64() // want: rand draw in the deterministic core
+}
+
+// BadStoredDraw persists a draw through a local into shared state; the
+// finding names where the value lands.
+func BadStoredDraw(dst map[string]float64) {
+	v := rand.Float64() // want: the draw is stored in dst["jitter"]
+	dst["jitter"] = v
+}
+
+// SuppressedObserver times a stage for diagnostics only; the suppression
+// names the sanctioned consumer.
+func SuppressedObserver(stage func()) time.Duration {
+	//edlint:ignore wallclock observer timing: the duration is stderr telemetry, never a model input
+	start := time.Now()
+	stage()
+	//edlint:ignore wallclock observer timing: see above
+	return time.Since(start)
+}

@@ -155,8 +155,10 @@ func Observe(obs Observer, s Stage, fn func() (Counters, error)) error {
 		obs = nopObserver{}
 	}
 	obs.StageStart(s)
+	//edlint:ignore wallclock observer layer: stage durations are diagnostics on stderr, never model inputs
 	start := time.Now()
 	counters, err := fn()
+	//edlint:ignore wallclock observer layer: the duration feeds StageDone telemetry only
 	obs.StageDone(StageStats{Stage: s, Duration: time.Since(start), Counters: counters, Err: err})
 	return err
 }
