@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	edlint [-run analyzers] [-list] [patterns ...]
+//	edlint [-run analyzers] [-list] [-json] [patterns ...]
 //
 // Patterns follow the go tool's shape relative to the current directory:
 // "./..." (the default) selects every package, "./dir/..." a subtree, and
@@ -12,15 +12,23 @@
 // type-checked — analysis is only *reported* for matching packages, so
 // cross-package facts stay sound.
 //
+// With -json each finding is printed as one JSON object per line
+// ({"file","line","col","analyzer","message"}), for editor and CI
+// integration; the exit status is unchanged.
+//
 // Exit status: 0 when clean, 1 when findings were printed, 2 on usage or
-// load errors. Findings are suppressed line-by-line with
+// load errors. Findings are suppressed with a mandatory reason at three
+// scopes —
 //
-//	//edlint:ignore <analyzer> <reason>
+//	//edlint:ignore <analyzer> <reason>        (line and line below)
+//	//edlint:ignore-block <analyzer> <reason>  (the syntax node below)
+//	//edlint:ignore-file <analyzer> <reason>   (the whole file)
 //
-// on the offending line or the line directly above it.
+// — and malformed directives are themselves findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +38,16 @@ import (
 	"extradeep/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire shape of one finding, one object per
+// line (JSON Lines), stable for editor and CI consumers.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -37,8 +55,9 @@ func main() {
 func run() int {
 	runSpec := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print findings as JSON Lines instead of file:line:col text")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: edlint [-run analyzers] [-list] [patterns ...]")
+		fmt.Fprintln(os.Stderr, "usage: edlint [-run analyzers] [-list] [-json] [patterns ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,10 +101,24 @@ func run() int {
 	}
 
 	diags := lint.Run(mod, analyzers, filter)
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			continue
 		}
 		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
