@@ -29,8 +29,20 @@ go test -race ./...
 echo "==> go test -race -shuffle=on -count=2 ./internal/pipeline/..."
 go test -race -shuffle=on -count=2 ./internal/pipeline/...
 
-echo "==> edlint ./..."
+# edlint-bench: the full-module lint (parse + type-check + 10-analyzer
+# suite) is itself part of the gate, so it must stay cheap. The stage
+# times the run and fails when it blows a generous 60-second budget;
+# BENCH_lint.json tracks the finer-grained trajectory via
+# BenchmarkLintRepo / BenchmarkAnalyzeOnly in internal/lint.
+echo "==> edlint ./... (edlint-bench: 60s budget)"
+lint_start=$(date +%s)
 go run ./cmd/edlint ./...
+lint_elapsed=$(($(date +%s) - lint_start))
+echo "edlint-bench: full-repo lint took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 60 ]; then
+	echo "edlint-bench: exceeded the 60s budget (${lint_elapsed}s) — profile with 'go test -bench BenchmarkLintRepo ./internal/lint'" >&2
+	exit 1
+fi
 
 # Fuzz smoke: the ingestion invariant ("valid profile or error — never a
 # panic, never a NaN smuggled into the pipeline") must survive a short
