@@ -1,0 +1,75 @@
+// Command edcheck runs the repository's propcheck invariant suites in
+// their long-haul configuration: every property's iteration count is
+// multiplied via the EDCHECK_ITERS environment variable, and the whole
+// run must finish inside a time budget (edlint-bench style), so the gate
+// stays cheap even as suites accumulate.
+//
+// Usage:
+//
+//	edcheck [-iters n] [-budget seconds] [-run regexp] [packages ...]
+//
+// Packages default to ./internal/...; the run regexp defaults to
+// '^TestProp', the naming convention of the invariant suites. Failing
+// properties print propcheck's one-line EDCHECK_SEED replay recipe, so a
+// red edcheck run is reproducible with a copy-paste.
+//
+// Exit status: 0 when every suite passed inside the budget, 1 on test
+// failure or budget overrun, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	iters := flag.Int("iters", 5, "EDCHECK_ITERS multiplier applied to every property's iteration count")
+	budget := flag.Int("budget", 55, "time budget in seconds for the whole run")
+	runRe := flag.String("run", "^TestProp", "go test -run expression selecting the invariant suites")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: edcheck [-iters n] [-budget seconds] [-run regexp] [packages ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *iters < 1 || *budget < 1 {
+		flag.Usage()
+		return 2
+	}
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/..."}
+	}
+
+	args := append([]string{
+		"test", "-count=1",
+		"-run", *runRe,
+		"-timeout", fmt.Sprintf("%ds", *budget),
+	}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("EDCHECK_ITERS=%d", *iters))
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+
+	start := time.Now()
+	err := cmd.Run()
+	elapsed := time.Since(start)
+	fmt.Printf("edcheck: %d× iterations over %v took %.1fs (budget %ds)\n",
+		*iters, pkgs, elapsed.Seconds(), *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edcheck: invariant suites failed — replay any failure with its printed EDCHECK_SEED")
+		return 1
+	}
+	if elapsed > time.Duration(*budget)*time.Second {
+		fmt.Fprintf(os.Stderr, "edcheck: exceeded the %ds budget (%.1fs) — lower -iters or split slow suites\n",
+			*budget, elapsed.Seconds())
+		return 1
+	}
+	return 0
+}

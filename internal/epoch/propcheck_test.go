@@ -1,0 +1,189 @@
+package epoch_test
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	"extradeep/internal/aggregate"
+	"extradeep/internal/epoch"
+	"extradeep/internal/propcheck"
+	"extradeep/internal/propcheck/edgen"
+)
+
+// TestPropStepsMatchBigIntOracle: the float floor arithmetic of Eqs. 2–3,
+// n = ⌊D/(G/M)/B⌋, agrees with exact big-int division D·M ÷ (G·B) across
+// the generated parameter range (edgen bounds it so both sides are exact).
+func TestPropStepsMatchBigIntOracle(t *testing.T) {
+	propcheck.Check(t, edgen.EpochParams(), func(p epoch.Params) error {
+		for _, c := range []struct {
+			phase   string
+			samples float64
+			got     int
+		}{
+			{"train", p.TrainSamples, p.TrainSteps()},
+			{"validation", p.ValSamples, p.ValSteps()},
+		} {
+			num := new(big.Int).Mul(big.NewInt(int64(c.samples)), big.NewInt(int64(p.ModelParallel)))
+			den := new(big.Int).Mul(big.NewInt(int64(p.DataParallel)), big.NewInt(int64(p.BatchSize)))
+			want := new(big.Int).Quo(num, den)
+			if !want.IsInt64() || want.Int64() != int64(c.got) {
+				return fmt.Errorf("%s steps: float floor gives %d, big-int oracle %s", c.phase, c.got, want)
+			}
+		}
+		return nil
+	})
+}
+
+// stepDelta pairs a valid training setup with an integer scaling factor
+// for the monotonicity checks below.
+type stepDelta struct {
+	p epoch.Params
+	f float64
+}
+
+func stepDeltaGen() propcheck.Gen[stepDelta] {
+	pg := edgen.EpochParams()
+	return propcheck.Gen[stepDelta]{
+		Generate: func(r *propcheck.Rand) stepDelta {
+			return stepDelta{p: pg.Generate(r), f: float64(r.IntRange(1, 8))}
+		},
+		Describe: func(d stepDelta) string {
+			return fmt.Sprintf("{%s f=%g}", describeParams(d.p), d.f)
+		},
+	}
+}
+
+func describeParams(p epoch.Params) string {
+	return fmt.Sprintf("Params{B=%g Dt=%g Dv=%g G=%g M=%g}",
+		p.BatchSize, p.TrainSamples, p.ValSamples, p.DataParallel, p.ModelParallel)
+}
+
+// TestPropStepsMonotoneInSetup: Eq. 2 is monotone non-decreasing in the
+// dataset size D_t and the model parallelism M, monotone non-increasing in
+// the batch size B and the data parallelism G, and invariant when G and M
+// scale together (G/M fixed).
+func TestPropStepsMonotoneInSetup(t *testing.T) {
+	propcheck.Check(t, stepDeltaGen(), func(d stepDelta) error {
+		base := d.p.TrainSteps()
+
+		q := d.p
+		q.TrainSamples *= d.f
+		if q.TrainSteps() < base {
+			return fmt.Errorf("steps decreased from %d to %d when D_t grew ×%g", base, q.TrainSteps(), d.f)
+		}
+		q = d.p
+		q.BatchSize *= d.f
+		if q.TrainSteps() > base {
+			return fmt.Errorf("steps increased from %d to %d when B grew ×%g", base, q.TrainSteps(), d.f)
+		}
+		q = d.p
+		q.DataParallel *= d.f
+		if q.TrainSteps() > base {
+			return fmt.Errorf("steps increased from %d to %d when G grew ×%g", base, q.TrainSteps(), d.f)
+		}
+		q = d.p
+		q.ModelParallel *= d.f
+		if q.TrainSteps() < base {
+			return fmt.Errorf("steps decreased from %d to %d when M grew ×%g", base, q.TrainSteps(), d.f)
+		}
+		q = d.p
+		q.DataParallel *= d.f
+		q.ModelParallel *= d.f
+		if q.TrainSteps() != base {
+			return fmt.Errorf("steps changed from %d to %d though G/M is fixed", base, q.TrainSteps())
+		}
+		return nil
+	})
+}
+
+// kernelCase pairs a training setup with two step values and a scale, for
+// the linearity/homogeneity invariants of Eq. 4.
+type kernelCase struct {
+	p              epoch.Params
+	t1, v1, t2, v2 float64
+	k              float64
+}
+
+func kernelCaseGen() propcheck.Gen[kernelCase] {
+	pg := edgen.EpochParams()
+	fg := propcheck.Float64Range(-1e6, 1e6)
+	return propcheck.Gen[kernelCase]{
+		Generate: func(r *propcheck.Rand) kernelCase {
+			return kernelCase{
+				p:  pg.Generate(r),
+				t1: fg.Generate(r), v1: fg.Generate(r),
+				t2: fg.Generate(r), v2: fg.Generate(r),
+				k: r.Float64Range(-100, 100),
+			}
+		},
+		Describe: func(c kernelCase) string {
+			return fmt.Sprintf("{%s sv1=(%g,%g) sv2=(%g,%g) k=%g}",
+				describeParams(c.p), c.t1, c.v1, c.t2, c.v2, c.k)
+		},
+	}
+}
+
+// TestPropKernelValueLinearity (migrated from testing/quick): the
+// per-epoch value of a sum of kernels equals the sum of per-epoch values —
+// the property that makes category aggregation and per-kernel modeling
+// consistent (Eqs. 4 and 6). Now checked for arbitrary valid setups, not
+// one fixed parameter set.
+func TestPropKernelValueLinearity(t *testing.T) {
+	propcheck.Check(t, kernelCaseGen(), func(c kernelCase) error {
+		a := aggregate.StepValue{Train: c.t1, Validation: c.v1}
+		b := aggregate.StepValue{Train: c.t2, Validation: c.v2}
+		sum := epoch.KernelValue(a.Add(b), c.p)
+		parts := epoch.KernelValue(a, c.p) + epoch.KernelValue(b, c.p)
+		if math.Abs(sum-parts) > 1e-9*(1+math.Abs(sum)) {
+			return fmt.Errorf("F(a+b)=%g but F(a)+F(b)=%g", sum, parts)
+		}
+		return nil
+	})
+}
+
+// TestPropKernelValueHomogeneity (migrated from testing/quick):
+// KernelValue scales linearly with the step value.
+func TestPropKernelValueHomogeneity(t *testing.T) {
+	propcheck.Check(t, kernelCaseGen(), func(c kernelCase) error {
+		sv := aggregate.StepValue{Train: c.t1, Validation: c.v1}
+		scaled := aggregate.StepValue{Train: c.t1 * c.k, Validation: c.v1 * c.k}
+		lhs := epoch.KernelValue(scaled, c.p)
+		rhs := c.k * epoch.KernelValue(sv, c.p)
+		if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(rhs)) {
+			return fmt.Errorf("F(k·v)=%g but k·F(v)=%g", lhs, rhs)
+		}
+		return nil
+	})
+}
+
+// TestPropWeakScalingStepInvariance (migrated from testing/quick): weak
+// scaling (D_t ∝ workers) keeps the step count invariant for any rank
+// count, batch size and base dataset.
+func TestPropWeakScalingStepInvariance(t *testing.T) {
+	type wsCase struct{ ranks, batch, samples int }
+	g := propcheck.Gen[wsCase]{
+		Generate: func(r *propcheck.Rand) wsCase {
+			return wsCase{
+				ranks:   r.IntRange(2, 64),
+				batch:   r.IntRange(1, 256),
+				samples: r.IntRange(1, 100000),
+			}
+		},
+	}
+	propcheck.Check(t, g, func(c wsCase) error {
+		base := epoch.Params{
+			BatchSize: float64(c.batch), TrainSamples: float64(c.samples),
+			DataParallel: 1, ModelParallel: 1,
+		}
+		scaled := base
+		scaled.TrainSamples = float64(c.samples) * float64(c.ranks)
+		scaled.DataParallel = float64(c.ranks)
+		if base.TrainSteps() != scaled.TrainSteps() {
+			return fmt.Errorf("weak scaling changed steps: %d → %d at %d ranks",
+				base.TrainSteps(), scaled.TrainSteps(), c.ranks)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,70 @@
+package ingest_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"extradeep/internal/faults"
+	"extradeep/internal/ingest"
+	"extradeep/internal/profile"
+	"extradeep/internal/propcheck"
+	"extradeep/internal/propcheck/edgen"
+)
+
+// corruptionCase pairs a valid profile with one corruption kind.
+type corruptionCase struct {
+	p    *profile.Profile
+	kind faults.Kind
+}
+
+func corruptionCaseGen() propcheck.Gen[corruptionCase] {
+	pg := edgen.Profile()
+	kinds := faults.Kinds()
+	return propcheck.Gen[corruptionCase]{
+		Generate: func(r *propcheck.Rand) corruptionCase {
+			return corruptionCase{p: pg.Generate(r), kind: kinds[r.Intn(len(kinds))]}
+		},
+		Describe: func(c corruptionCase) string {
+			return fmt.Sprintf("{%s corrupted by %v}", c.p.FileName(), c.kind)
+		},
+	}
+}
+
+// TestPropCorruptionQuarantinesOrValid: for every corruption kind applied
+// to a valid profile, lenient ingestion either quarantines the file or
+// loads a profile that still passes Validate — no NaN, Inf or negative
+// duration ever reaches the aggregation pipeline, and every file is
+// accounted for.
+func TestPropCorruptionQuarantinesOrValid(t *testing.T) {
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 60}, corruptionCaseGen(), func(c corruptionCase) error {
+		dir := t.TempDir()
+		store := profile.Store{Dir: dir}
+		if err := store.Write(c.p); err != nil {
+			return fmt.Errorf("writing pristine profile: %w", err)
+		}
+		path := dir + "/" + c.p.FileName()
+		if _, err := faults.CorruptFile(path, c.kind); err != nil {
+			return fmt.Errorf("applying %v: %w", c.kind, err)
+		}
+
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		report, err := ingest.LoadDir(dir, "json", ingest.Options{Policy: ingest.Lenient})
+		if err != nil {
+			return fmt.Errorf("lenient ingestion aborted on %v: %w", c.kind, err)
+		}
+		for _, p := range report.Profiles {
+			if verr := p.Validate(); verr != nil {
+				return fmt.Errorf("corruption %v leaked an invalid profile downstream: %w", c.kind, verr)
+			}
+		}
+		if got := len(report.Profiles) + len(report.Quarantined); got != len(files) {
+			return fmt.Errorf("corruption %v: %d files but %d loaded + %d quarantined",
+				c.kind, len(files), len(report.Profiles), len(report.Quarantined))
+		}
+		return nil
+	})
+}

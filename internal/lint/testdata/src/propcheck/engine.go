@@ -1,0 +1,27 @@
+//edlint:ignore-file wallclock the engine is the one sanctioned math/rand consumer: every draw derives from an explicit replayable seed, never from the clock
+
+// Package propcheck is a fixture for file-scoped wallclock suppression.
+// It is loaded under an import path ending in internal/propcheck, a
+// policed package that is a math/rand consumer by design: this file's
+// ignore-file directive silences its own draws, while the sibling file
+// (sloppy.go) stays fully policed — the suppression must not leak across
+// file boundaries.
+package propcheck
+
+import "math/rand"
+
+// Rand is a stand-in for the seeded generator wrapper.
+type Rand struct {
+	rng *rand.Rand
+}
+
+// NewRand derives a generator from an explicit seed; suppressed by the
+// file directive even though it is a math/rand construction.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 draws from the seeded source; suppressed by the file directive.
+func (r *Rand) Float64() float64 {
+	return r.rng.Float64()
+}

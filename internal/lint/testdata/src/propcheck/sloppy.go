@@ -1,0 +1,17 @@
+package propcheck
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadGlobalDraw bypasses the seeded wrapper with a global draw; the
+// sibling file's ignore-file directive must not cover it.
+func BadGlobalDraw() float64 {
+	return rand.Float64() // want: rand reaches a return value
+}
+
+// BadClockSeed derives a seed from the clock, destroying replayability.
+func BadClockSeed() *Rand {
+	return NewRand(time.Now().UnixNano()) // want: clock reaches a return value
+}

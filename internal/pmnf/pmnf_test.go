@@ -2,9 +2,7 @@ package pmnf
 
 import (
 	"math"
-	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"extradeep/internal/mathutil"
 )
@@ -257,72 +255,5 @@ func TestSortByGrowthTieBreakByValue(t *testing.T) {
 	order := SortByGrowth([]*Function{cheap, costly}, []float64{10})
 	if order[0] != 1 {
 		t.Errorf("order = %v, want the costly O(x) kernel first", order)
-	}
-}
-
-// Property: Eval is linear in the coefficients — scaling every coefficient
-// (and the constant) by s scales the result by s.
-func TestFunctionLinearityProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	for trial := 0; trial < 200; trial++ {
-		fn := randomFunction(rng)
-		x := 1 + rng.Float64()*100
-		s := rng.NormFloat64()
-		scaled := &Function{Constant: fn.Constant * s}
-		for _, term := range fn.Terms {
-			nt := term
-			nt.Coefficient *= s
-			scaled.Terms = append(scaled.Terms, nt)
-		}
-		a, b := fn.Eval(x)*s, scaled.Eval(x)
-		if !approx(a, b, 1e-6*(1+math.Abs(a))) {
-			t.Fatalf("linearity violated: %v vs %v", a, b)
-		}
-	}
-}
-
-// Property: PMNF functions with non-negative coefficients are monotone
-// non-decreasing on x ≥ 1.
-func TestFunctionMonotoneProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
-	for trial := 0; trial < 200; trial++ {
-		fn := randomFunction(rng)
-		for i := range fn.Terms {
-			fn.Terms[i].Coefficient = math.Abs(fn.Terms[i].Coefficient)
-		}
-		x1 := 1 + rng.Float64()*50
-		x2 := x1 + rng.Float64()*50
-		if fn.Eval(x1) > fn.Eval(x2)+1e-9 {
-			t.Fatalf("non-monotone: f(%v)=%v > f(%v)=%v for %s",
-				x1, fn.Eval(x1), x2, fn.Eval(x2), fn)
-		}
-	}
-}
-
-func randomFunction(rng *rand.Rand) *Function {
-	exps := []float64{0, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.75, 1, 1.25, 1.5, 2}
-	fn := &Function{Constant: rng.NormFloat64() * 10}
-	n := 1 + rng.Intn(2)
-	for k := 0; k < n; k++ {
-		fn.Terms = append(fn.Terms, Term{
-			Coefficient: rng.NormFloat64() * 5,
-			Factors: []Factor{{
-				Param:   0,
-				PolyExp: exps[rng.Intn(len(exps))],
-				LogExp:  rng.Intn(3),
-			}},
-		})
-	}
-	return fn
-}
-
-func TestFactorRenderQuickNoPanic(t *testing.T) {
-	f := func(poly float64, logExp uint8) bool {
-		fac := Factor{PolyExp: poly, LogExp: int(logExp % 4)}
-		_ = fac.Render("x")
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
 	}
 }

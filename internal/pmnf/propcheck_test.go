@@ -1,0 +1,156 @@
+package pmnf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"extradeep/internal/propcheck"
+)
+
+// genFunction generates random single-parameter PMNF instances (1–2
+// compound terms over the Extra-P exponent sets), replacing the old
+// math/rand randomFunction helper with a seed-replayable generator.
+func genFunction() propcheck.Gen[*Function] {
+	exps := []float64{0, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.75, 1, 1.25, 1.5, 2}
+	return propcheck.Gen[*Function]{
+		Generate: func(r *propcheck.Rand) *Function {
+			fn := &Function{Constant: r.NormFloat64() * 10}
+			n := r.IntRange(1, 2)
+			for k := 0; k < n; k++ {
+				fn.Terms = append(fn.Terms, Term{
+					Coefficient: r.NormFloat64() * 5,
+					Factors: []Factor{{
+						Param:   0,
+						PolyExp: exps[r.Intn(len(exps))],
+						LogExp:  r.IntRange(0, 2),
+					}},
+				})
+			}
+			return fn
+		},
+		Describe: func(fn *Function) string { return fn.String() },
+	}
+}
+
+type fnAt struct {
+	fn     *Function
+	x1, x2 float64
+	s      float64
+}
+
+func fnAtGen() propcheck.Gen[fnAt] {
+	fg := genFunction()
+	return propcheck.Gen[fnAt]{
+		Generate: func(r *propcheck.Rand) fnAt {
+			x1 := 1 + r.Float64Range(0, 50)
+			return fnAt{
+				fn: fg.Generate(r),
+				x1: x1,
+				x2: x1 + r.Float64Range(0, 50),
+				s:  r.NormFloat64(),
+			}
+		},
+		Describe: func(c fnAt) string {
+			return fmt.Sprintf("{%s at x1=%g x2=%g s=%g}", c.fn, c.x1, c.x2, c.s)
+		},
+	}
+}
+
+// TestPropFunctionLinearity (migrated from a math/rand loop): Eval is
+// linear in the coefficients — scaling every coefficient (and the
+// constant) by s scales the result by s.
+func TestPropFunctionLinearity(t *testing.T) {
+	propcheck.Check(t, fnAtGen(), func(c fnAt) error {
+		scaled := &Function{Constant: c.fn.Constant * c.s}
+		for _, term := range c.fn.Terms {
+			nt := term
+			nt.Coefficient *= c.s
+			scaled.Terms = append(scaled.Terms, nt)
+		}
+		a, b := c.fn.Eval(c.x1)*c.s, scaled.Eval(c.x1)
+		if !approx(a, b, 1e-6*(1+math.Abs(a))) {
+			return fmt.Errorf("s·f(x)=%g but (s·f)(x)=%g", a, b)
+		}
+		return nil
+	})
+}
+
+// TestPropFunctionMonotone (migrated from a math/rand loop): PMNF
+// functions with non-negative coefficients are monotone non-decreasing on
+// x ≥ 1.
+func TestPropFunctionMonotone(t *testing.T) {
+	propcheck.Check(t, fnAtGen(), func(c fnAt) error {
+		fn := &Function{Constant: c.fn.Constant}
+		for _, term := range c.fn.Terms {
+			nt := term
+			nt.Coefficient = math.Abs(nt.Coefficient)
+			fn.Terms = append(fn.Terms, nt)
+		}
+		if fn.Eval(c.x1) > fn.Eval(c.x2)+1e-9 {
+			return fmt.Errorf("f(%g)=%g > f(%g)=%g for %s", c.x1, fn.Eval(c.x1), c.x2, fn.Eval(c.x2), fn)
+		}
+		return nil
+	})
+}
+
+// TestPropFactorRenderTotal (migrated from testing/quick): Render is total
+// — it returns a non-empty string for any exponent combination and never
+// panics.
+func TestPropFactorRenderTotal(t *testing.T) {
+	type renderCase struct {
+		poly   float64
+		logExp int
+	}
+	g := propcheck.Gen[renderCase]{
+		Generate: func(r *propcheck.Rand) renderCase {
+			return renderCase{poly: r.Float64Range(-4, 4), logExp: r.IntRange(0, 3)}
+		},
+	}
+	propcheck.Check(t, g, func(c renderCase) error {
+		fac := Factor{PolyExp: c.poly, LogExp: c.logExp}
+		if fac.Render("x") == "" {
+			return fmt.Errorf("empty render for %+v", fac)
+		}
+		return nil
+	})
+}
+
+// TestPropGrowthOrderingConsistent: Growth.Compare agrees with actual
+// asymptotic dominance — if Compare says a grows strictly faster than b,
+// then a's basis eventually exceeds b's.
+func TestPropGrowthOrderingConsistent(t *testing.T) {
+	g := propcheck.Gen[[2]*Function]{
+		Generate: func(r *propcheck.Rand) [2]*Function {
+			fg := genFunction()
+			return [2]*Function{fg.Generate(r), fg.Generate(r)}
+		},
+		Describe: func(fns [2]*Function) string {
+			return fmt.Sprintf("{%s vs %s}", fns[0], fns[1])
+		},
+	}
+	propcheck.Check(t, g, func(fns [2]*Function) error {
+		ga, gb := fns[0].Growth(), fns[1].Growth()
+		cmp := ga.Compare(gb)
+		if -cmp != gb.Compare(ga) {
+			return fmt.Errorf("Compare not antisymmetric: %v vs %v", ga, gb)
+		}
+		if cmp > 0 {
+			// a dominates: its basis must grow strictly faster between two
+			// widely spaced points. Work in log space — the crossover point
+			// of close polynomial degrees with opposing log factors can lie
+			// beyond any fixed x, but the growth *rate* ordering is already
+			// visible over a wide enough span.
+			const x1, x2 = 1e6, 1e30
+			rate := func(g Growth) float64 {
+				return g.PolyDegree*(math.Log(x2)-math.Log(x1)) +
+					float64(g.LogDegree)*(math.Log(math.Log2(x2))-math.Log(math.Log2(x1)))
+			}
+			if !(rate(ga) > rate(gb)) {
+				return fmt.Errorf("%v compares above %v but grows no faster (log-rate %g ≤ %g)",
+					ga, gb, rate(ga), rate(gb))
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,324 @@
+// Package edgen provides propcheck generators for Extra-Deep's domain
+// types: measurement points, training-setup parameters, per-rank traces
+// with NVTX step/epoch spans, and profile sets following the canonical
+// app.x{config}.mpi{rank}.r{rep} naming. Every generated value satisfies
+// the type's own Validate contract, so invariant suites probe behaviour
+// on valid inputs rather than tripping over boundary rejections.
+package edgen
+
+import (
+	"fmt"
+
+	"extradeep/internal/calltree"
+	"extradeep/internal/epoch"
+	"extradeep/internal/measurement"
+	"extradeep/internal/profile"
+	"extradeep/internal/propcheck"
+	"extradeep/internal/trace"
+)
+
+// kernelPool is the kernel vocabulary generated traces draw from; names
+// and kinds mirror what the NSight-style toolchain records (Table 2).
+var kernelPool = []struct {
+	name string
+	kind calltree.Kind
+}{
+	{"EigenMetaKernel", calltree.KindCUDA},
+	{"volta_sgemm_128x64_nn", calltree.KindCUDA},
+	{"cudnn::winograd_fwd", calltree.KindCuDNN},
+	{"MPI_Allreduce", calltree.KindMPI},
+	{"ncclAllReduce", calltree.KindNCCL},
+	{"cudaMemcpyHtoD", calltree.KindMemcpy},
+}
+
+// appPool is the application-name vocabulary for profile generation.
+var appPool = []string{"cifar10", "mnist", "imdb", "resnet"}
+
+// AppName generates an application name from a fixed pool.
+func AppName() propcheck.Gen[string] {
+	return propcheck.Gen[string]{
+		Generate: func(r *propcheck.Rand) string { return appPool[r.Intn(len(appPool))] },
+	}
+}
+
+// Point generates a measurement point with dims power-of-two-ish positive
+// coordinates (the shapes real rank/batch configurations take), shrinking
+// each coordinate toward 1.
+func Point(dims int) propcheck.Gen[measurement.Point] {
+	coord := propcheck.Gen[float64]{
+		Generate: func(r *propcheck.Rand) float64 {
+			v := float64(int64(1) << r.IntRange(0, 10)) // 1 … 1024
+			if r.Intn(4) == 0 {
+				v /= 2 // occasionally a fractional value like 0.5
+			}
+			return v
+		},
+		Shrink: func(v float64) []float64 {
+			if v > 1 {
+				return []float64{1, v / 2}
+			}
+			return nil
+		},
+	}
+	slice := propcheck.SliceOf(coord, dims, dims)
+	return propcheck.Gen[measurement.Point]{
+		Generate: func(r *propcheck.Rand) measurement.Point {
+			return measurement.Point(slice.Generate(r))
+		},
+		Shrink: func(v measurement.Point) []measurement.Point {
+			var out []measurement.Point
+			for _, c := range slice.Shrink([]float64(v)) {
+				out = append(out, measurement.Point(c))
+			}
+			return out
+		},
+		Describe: func(v measurement.Point) string { return v.Key() },
+	}
+}
+
+// EpochParams generates valid training-setup parameters within the exact
+// float range of Eqs. 2–4: B ∈ [1,1024], D_t ≤ 1e9, D_v ≤ 1e7, M ∈
+// {1,2,4,8} and G a multiple of M with G/M ≤ 4096 — so the floor
+// arithmetic is exactly representable and comparable against a big-int
+// oracle. Shrinking reduces the dataset sizes and parallel degrees.
+func EpochParams() propcheck.Gen[epoch.Params] {
+	return propcheck.Gen[epoch.Params]{
+		Generate: func(r *propcheck.Rand) epoch.Params {
+			m := float64(int64(1) << r.IntRange(0, 3)) // 1, 2, 4, 8
+			return epoch.Params{
+				BatchSize:     float64(r.IntRange(1, 1024)),
+				TrainSamples:  float64(r.Int64Range(0, 1_000_000_000)),
+				ValSamples:    float64(r.Int64Range(0, 10_000_000)),
+				DataParallel:  m * float64(r.IntRange(1, 4096)),
+				ModelParallel: m,
+			}
+		},
+		Shrink: func(p epoch.Params) []epoch.Params {
+			var out []epoch.Params
+			add := func(q epoch.Params) {
+				if q.Validate() == nil && q != p {
+					out = append(out, q)
+				}
+			}
+			q := p
+			q.TrainSamples = 0
+			add(q)
+			q = p
+			q.TrainSamples = float64(int64(p.TrainSamples) / 2)
+			add(q)
+			q = p
+			q.ValSamples = 0
+			add(q)
+			q = p
+			q.BatchSize = 1
+			add(q)
+			q = p
+			q.DataParallel = p.ModelParallel
+			add(q)
+			q = p
+			//edlint:ignore divguard ModelParallel is generated as 1<<k with k ≥ 0, never zero
+			q.DataParallel, q.ModelParallel = p.DataParallel/p.ModelParallel, 1
+			add(q)
+			return out
+		},
+		Describe: func(p epoch.Params) string {
+			return fmt.Sprintf("Params{B=%g Dt=%g Dv=%g G=%g M=%g}",
+				p.BatchSize, p.TrainSamples, p.ValSamples, p.DataParallel, p.ModelParallel)
+		},
+	}
+}
+
+// TraceShape bounds the structure of generated traces.
+type TraceShape struct {
+	// MaxEpochs bounds the epoch count (≥ 1, default 3).
+	MaxEpochs int
+	// MaxTrainSteps and MaxValSteps bound the per-epoch step counts
+	// (train ≥ 1, default 4; validation ≥ 0, default 2).
+	MaxTrainSteps int
+	MaxValSteps   int
+	// MaxEventsPerStep bounds the kernel events inside one step
+	// (default 4).
+	MaxEventsPerStep int
+}
+
+func (s TraceShape) withDefaults() TraceShape {
+	if s.MaxEpochs <= 0 {
+		s.MaxEpochs = 3
+	}
+	if s.MaxTrainSteps <= 0 {
+		s.MaxTrainSteps = 4
+	}
+	if s.MaxValSteps < 0 {
+		s.MaxValSteps = 0
+	} else if s.MaxValSteps == 0 {
+		s.MaxValSteps = 2
+	}
+	if s.MaxEventsPerStep <= 0 {
+		s.MaxEventsPerStep = 4
+	}
+	return s
+}
+
+// Trace generates a structurally valid per-rank trace: NVTX epoch spans
+// containing ordered, non-overlapping train then validation step spans,
+// each step holding kernel events drawn from a fixed vocabulary with
+// finite non-negative timings. Generated traces always pass
+// (*trace.Trace).Validate.
+func Trace(shape TraceShape) propcheck.Gen[trace.Trace] {
+	shape = shape.withDefaults()
+	return propcheck.Gen[trace.Trace]{
+		Generate: func(r *propcheck.Rand) trace.Trace {
+			tr := trace.Trace{Rank: r.IntRange(0, 7)}
+			cursor := r.Float64Range(0, 0.5)
+			epochs := r.IntRange(1, shape.MaxEpochs)
+			trainSteps := r.IntRange(1, shape.MaxTrainSteps)
+			valSteps := r.IntRange(0, shape.MaxValSteps)
+			for e := 0; e < epochs; e++ {
+				epochStart := cursor
+				emit := func(phase trace.Phase, idx int) {
+					stepStart := cursor
+					t := stepStart
+					for k := r.IntRange(1, shape.MaxEventsPerStep); k > 0; k-- {
+						kern := kernelPool[r.Intn(len(kernelPool))]
+						ev := trace.Event{
+							Name:     kern.name,
+							Kind:     kern.kind,
+							Callpath: "App->" + phase.String() + "->" + kern.name,
+							Start:    t,
+							Duration: r.Float64Range(0, 0.01),
+						}
+						if kern.kind == calltree.KindMemcpy {
+							ev.Bytes = float64(r.IntRange(0, 1<<20))
+						}
+						tr.Events = append(tr.Events, ev)
+						t = ev.End() + r.Float64Range(0, 0.001)
+					}
+					cursor = t + 0.001
+					tr.Steps = append(tr.Steps, trace.StepSpan{
+						Epoch: e, Index: idx, Phase: phase, Start: stepStart, End: cursor,
+					})
+					cursor += r.Float64Range(0, 0.002) // inter-step gap
+				}
+				for s := 0; s < trainSteps; s++ {
+					emit(trace.PhaseTrain, s)
+				}
+				for s := 0; s < valSteps; s++ {
+					emit(trace.PhaseValidation, s)
+				}
+				tr.Epochs = append(tr.Epochs, trace.EpochSpan{Index: e, Start: epochStart, End: cursor})
+				cursor += 0.001
+			}
+			return tr
+		},
+		Describe: func(tr trace.Trace) string {
+			return fmt.Sprintf("trace{rank=%d events=%d steps=%d epochs=%d}",
+				tr.Rank, len(tr.Events), len(tr.Steps), len(tr.Epochs))
+		},
+	}
+}
+
+// SetShape bounds the structure of generated profile sets.
+type SetShape struct {
+	// Dims is the configuration dimensionality (default 1).
+	Dims int
+	// MaxConfigs, MaxRanks, MaxReps bound the set extent (defaults 4, 4,
+	// 3; minimum 1 config, 1 rank, 1 rep each).
+	MaxConfigs int
+	MaxRanks   int
+	MaxReps    int
+	// Trace bounds the per-profile trace.
+	Trace TraceShape
+}
+
+func (s SetShape) withDefaults() SetShape {
+	if s.Dims <= 0 {
+		s.Dims = 1
+	}
+	if s.MaxConfigs <= 0 {
+		s.MaxConfigs = 4
+	}
+	if s.MaxRanks <= 0 {
+		s.MaxRanks = 4
+	}
+	if s.MaxReps <= 0 {
+		s.MaxReps = 3
+	}
+	return s
+}
+
+// Profile generates one valid single-rank profile (rank 0, rep 1) with a
+// one-dimensional configuration.
+func Profile() propcheck.Gen[*profile.Profile] {
+	set := ProfileSet(SetShape{MaxConfigs: 1, MaxRanks: 1, MaxReps: 1})
+	return propcheck.Gen[*profile.Profile]{
+		Generate: func(r *propcheck.Rand) *profile.Profile { return set.Generate(r)[0] },
+		Describe: func(p *profile.Profile) string { return p.FileName() },
+	}
+}
+
+// ProfileSet generates the profiles of one application measured at
+// several configurations, each with a full rank × repetition grid and
+// canonical (app, config, rank, rep) identities — the input shape the
+// ingest and aggregation pipelines expect. Every profile passes Validate.
+// Shrinking drops trailing configurations down to one.
+func ProfileSet(shape SetShape) propcheck.Gen[[]*profile.Profile] {
+	shape = shape.withDefaults()
+	point := Point(shape.Dims)
+	tgen := Trace(shape.Trace)
+	return propcheck.Gen[[]*profile.Profile]{
+		Generate: func(r *propcheck.Rand) []*profile.Profile {
+			app := appPool[r.Intn(len(appPool))]
+			params := make([]string, shape.Dims)
+			for i := range params {
+				params[i] = fmt.Sprintf("x%d", i+1)
+			}
+			nConfigs := r.IntRange(1, shape.MaxConfigs)
+			ranks := r.IntRange(1, shape.MaxRanks)
+			reps := r.IntRange(1, shape.MaxReps)
+			seen := map[string]bool{}
+			var out []*profile.Profile
+			for c := 0; c < nConfigs; c++ {
+				pt := point.Generate(r)
+				if seen[pt.Key()] {
+					continue // collapsing duplicate configurations keeps identities unique
+				}
+				seen[pt.Key()] = true
+				for rep := 1; rep <= reps; rep++ {
+					for rank := 0; rank < ranks; rank++ {
+						tr := tgen.Generate(r)
+						tr.Rank = rank
+						out = append(out, &profile.Profile{
+							App:      app,
+							Params:   append([]string(nil), params...),
+							Config:   append([]float64(nil), pt...),
+							Rank:     rank,
+							Rep:      rep,
+							WallTime: tr.TotalDuration(),
+							Sampled:  false,
+							Trace:    tr,
+						})
+					}
+				}
+			}
+			return out
+		},
+		Shrink: func(v []*profile.Profile) [][]*profile.Profile {
+			// Drop the profiles of the last configuration while more than
+			// one configuration remains.
+			groups := profile.GroupByConfig(v)
+			keys := profile.SortedKeys(groups)
+			if len(keys) <= 1 {
+				return nil
+			}
+			var out []*profile.Profile
+			for _, k := range keys[:len(keys)-1] {
+				out = append(out, groups[k]...)
+			}
+			return [][]*profile.Profile{out}
+		},
+		Describe: func(v []*profile.Profile) string {
+			groups := profile.GroupByConfig(v)
+			return fmt.Sprintf("profiles{n=%d configs=%d}", len(v), len(groups))
+		},
+	}
+}

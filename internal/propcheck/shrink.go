@@ -1,0 +1,36 @@
+package propcheck
+
+// shrink greedily minimizes a failing input: it repeatedly asks the
+// generator for simpler candidates and moves to the first one that still
+// fails the property, until no candidate fails or the evaluation budget
+// is spent. The walk is deterministic — candidate order comes from
+// Gen.Shrink, which must itself be deterministic — so a replayed seed
+// shrinks to the identical counterexample.
+//
+// It returns the minimal failing value, the error it produced, the
+// number of accepted shrink steps, and the number of candidates tried.
+func shrink[T any](g Gen[T], prop func(T) error, failing T, ferr error, budget int) (T, error, int, int) {
+	if g.Shrink == nil {
+		return failing, ferr, 0, 0
+	}
+	steps, tried := 0, 0
+	for tried < budget {
+		progressed := false
+		for _, cand := range g.Shrink(failing) {
+			tried++
+			if err := prop(cand); err != nil {
+				failing, ferr = cand, err
+				steps++
+				progressed = true
+				break // greedy: restart from the simpler failing value
+			}
+			if tried >= budget {
+				break
+			}
+		}
+		if !progressed {
+			break // local minimum: no simpler candidate still fails
+		}
+	}
+	return failing, ferr, steps, tried
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"extradeep/internal/propcheck"
+	"extradeep/internal/trace"
+)
+
+// engineCase is one simulated campaign configuration.
+type engineCase struct {
+	seed    int64
+	ranks   int
+	sampled bool
+}
+
+func engineCaseGen() propcheck.Gen[engineCase] {
+	return propcheck.Gen[engineCase]{
+		Generate: func(r *propcheck.Rand) engineCase {
+			return engineCase{
+				seed:    r.Int64Range(1, 1<<40),
+				ranks:   1 << r.IntRange(1, 3), // 2, 4, 8
+				sampled: r.Bool(),
+			}
+		},
+		Describe: func(c engineCase) string {
+			return fmt.Sprintf("{seed=%d ranks=%d sampled=%v}", c.seed, c.ranks, c.sampled)
+		},
+	}
+}
+
+// TestPropSameSeedByteIdenticalProfiles: simulating the same configuration
+// with the same seed twice yields byte-identical event streams — every
+// random draw is derived from the explicit seed, never from global or
+// clock state.
+func TestPropSameSeedByteIdenticalProfiles(t *testing.T) {
+	b := mustBenchmark(t, "cifar10")
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 8}, engineCaseGen(), func(c engineCase) error {
+		cfg := testConfig(c.ranks)
+		cfg.Seed = c.seed
+		run := func() ([]byte, error) {
+			ps, err := Profile(b, cfg, 1, c.sampled)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(ps)
+		}
+		j1, err := run()
+		if err != nil {
+			return fmt.Errorf("first run: %w", err)
+		}
+		j2, err := run()
+		if err != nil {
+			return fmt.Errorf("second run: %w", err)
+		}
+		if !bytes.Equal(j1, j2) {
+			return fmt.Errorf("same seed %d produced different event streams (%d vs %d bytes)",
+				c.seed, len(j1), len(j2))
+		}
+		return nil
+	})
+}
+
+// TestPropSampledIsPrefixConsistentSubset: the efficient sampling strategy
+// profiles a prefix of each epoch's training steps; those steps must be
+// byte-identical to the corresponding steps of the full-profiling run —
+// sampling selects a subset of the work, it does not perturb it.
+func TestPropSampledIsPrefixConsistentSubset(t *testing.T) {
+	b := mustBenchmark(t, "cifar10")
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 5}, engineCaseGen(), func(c engineCase) error {
+		cfg := testConfig(c.ranks)
+		cfg.Seed = c.seed
+		sampledPs, err := Profile(b, cfg, 1, true)
+		if err != nil {
+			return fmt.Errorf("sampled run: %w", err)
+		}
+		fullPs, err := Profile(b, cfg, 1, false)
+		if err != nil {
+			return fmt.Errorf("full run: %w", err)
+		}
+		if len(sampledPs) != len(fullPs) {
+			return fmt.Errorf("rank sets differ: %d sampled vs %d full profiles", len(sampledPs), len(fullPs))
+		}
+		for i := range sampledPs {
+			trS, trF := sampledPs[i].Trace, fullPs[i].Trace
+			stepsS := epochTrainSteps(&trS, 0)
+			stepsF := epochTrainSteps(&trF, 0)
+			if len(stepsS) > len(stepsF) {
+				return fmt.Errorf("rank %d: sampled run has more epoch-0 train steps (%d) than the full run (%d)",
+					sampledPs[i].Rank, len(stepsS), len(stepsF))
+			}
+			for j := range stepsS {
+				ss, sf := trS.Steps[stepsS[j]], trF.Steps[stepsF[j]]
+				if ss != sf {
+					return fmt.Errorf("rank %d: epoch-0 train step %d differs: sampled %+v vs full %+v",
+						sampledPs[i].Rank, j, ss, sf)
+				}
+				evS := eventsWithin(&trS, ss)
+				evF := eventsWithin(&trF, sf)
+				if len(evS) != len(evF) {
+					return fmt.Errorf("rank %d step %d: %d sampled events vs %d full events",
+						sampledPs[i].Rank, j, len(evS), len(evF))
+				}
+				for k := range evS {
+					if evS[k] != evF[k] {
+						return fmt.Errorf("rank %d step %d event %d differs: %+v vs %+v",
+							sampledPs[i].Rank, j, k, evS[k], evF[k])
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// epochTrainSteps returns the indices of epoch ep's training steps.
+func epochTrainSteps(tr *trace.Trace, ep int) []int {
+	var out []int
+	for i, s := range tr.Steps {
+		if s.Epoch == ep && s.Phase == trace.PhaseTrain {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// eventsWithin returns the events starting inside the step span.
+func eventsWithin(tr *trace.Trace, s trace.StepSpan) []trace.Event {
+	var out []trace.Event
+	for _, e := range tr.Events {
+		if s.Contains(e.Start) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"extradeep/internal/propcheck"
+	"extradeep/internal/simulator/hardware"
+)
+
+var collectivePool = []Collective{Allreduce, Allgather, ReduceScatter, Broadcast, AllToAll, PointToPoint}
+
+type timingCase struct {
+	ranks  int
+	bytes  float64
+	op     Collective
+	jureca bool
+}
+
+func timingCaseGen() propcheck.Gen[timingCase] {
+	return propcheck.Gen[timingCase]{
+		Generate: func(r *propcheck.Rand) timingCase {
+			return timingCase{
+				ranks:  r.IntRange(1, 200),
+				bytes:  float64(r.Int64Range(0, 1<<32)),
+				op:     collectivePool[r.Intn(len(collectivePool))],
+				jureca: r.Bool(),
+			}
+		},
+		Describe: func(c timingCase) string {
+			return fmt.Sprintf("{ranks=%d bytes=%g op=%v jureca=%v}", c.ranks, c.bytes, c.op, c.jureca)
+		},
+	}
+}
+
+// TestPropTimeNonNegative (migrated from testing/quick): collective time
+// is non-negative and finite for any sane input.
+func TestPropTimeNonNegative(t *testing.T) {
+	propcheck.Check(t, timingCaseGen(), func(c timingCase) error {
+		sys := hardware.DEEP()
+		if c.jureca {
+			sys = hardware.JURECA()
+		}
+		d := FromSystem(sys, c.ranks).Time(c.op, c.bytes)
+		if !(d >= 0 && d < 1e6) {
+			return fmt.Errorf("time %g outside [0, 1e6)", d)
+		}
+		return nil
+	})
+}
+
+// TestPropTimeMonotoneInBytes (migrated from testing/quick): collective
+// time is monotone non-decreasing in the message size for a fixed
+// configuration.
+func TestPropTimeMonotoneInBytes(t *testing.T) {
+	type bytesCase struct {
+		ranks  int
+		lo, hi float64
+		op     Collective
+	}
+	g := propcheck.Gen[bytesCase]{
+		Generate: func(r *propcheck.Rand) bytesCase {
+			a := float64(r.Int64Range(0, 1<<32))
+			b := float64(r.Int64Range(0, 1<<32))
+			if a > b {
+				a, b = b, a
+			}
+			return bytesCase{
+				ranks: r.IntRange(2, 129),
+				lo:    a, hi: b,
+				op: collectivePool[r.Intn(len(collectivePool))],
+			}
+		},
+	}
+	propcheck.Check(t, g, func(c bytesCase) error {
+		cfg := FromSystem(hardware.JURECA(), c.ranks)
+		tl, th := cfg.Time(c.op, c.lo), cfg.Time(c.op, c.hi)
+		if tl > th+1e-15 {
+			return fmt.Errorf("time(%g bytes)=%g exceeds time(%g bytes)=%g", c.lo, tl, c.hi, th)
+		}
+		return nil
+	})
+}
+
+// TestPropAllreduceMonotoneInRanks (migrated from testing/quick):
+// allreduce time is monotone non-decreasing in the rank count on the
+// staged-MPI path (more ranks never make the collective cheaper).
+func TestPropAllreduceMonotoneInRanks(t *testing.T) {
+	type ranksCase struct {
+		a, b  int
+		bytes float64
+	}
+	g := propcheck.Gen[ranksCase]{
+		Generate: func(r *propcheck.Rand) ranksCase {
+			a := r.IntRange(2, 71)
+			b := r.IntRange(2, 71)
+			if a > b {
+				a, b = b, a
+			}
+			return ranksCase{a: a, b: b, bytes: float64(r.Int64Range(0, 100_000_000))}
+		},
+	}
+	propcheck.Check(t, g, func(c ranksCase) error {
+		ta := FromSystem(hardware.DEEP(), c.a).Time(Allreduce, c.bytes)
+		tb := FromSystem(hardware.DEEP(), c.b).Time(Allreduce, c.bytes)
+		if ta > tb+1e-12 {
+			return fmt.Errorf("allreduce(%d ranks)=%g exceeds allreduce(%d ranks)=%g", c.a, ta, c.b, tb)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,91 @@
+package trace_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"extradeep/internal/propcheck"
+	"extradeep/internal/propcheck/edgen"
+	"extradeep/internal/trace"
+)
+
+// TestPropSortIsIdempotentAndPreservesValidity: sorting a valid trace
+// keeps it valid, and sorting twice changes nothing.
+func TestPropSortIsIdempotentAndPreservesValidity(t *testing.T) {
+	propcheck.Check(t, edgen.Trace(edgen.TraceShape{}), func(tr trace.Trace) error {
+		tr.Sort()
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("sorted trace invalid: %w", err)
+		}
+		again := tr
+		again.Events = append([]trace.Event(nil), tr.Events...)
+		again.Steps = append([]trace.StepSpan(nil), tr.Steps...)
+		again.Epochs = append([]trace.EpochSpan(nil), tr.Epochs...)
+		again.Sort()
+		if !reflect.DeepEqual(tr, again) {
+			return fmt.Errorf("second sort changed the trace")
+		}
+		return nil
+	})
+}
+
+// TestPropStepLookupConsistent: for every step span, StepOf finds it from
+// any interior time, FollowingStep(start) returns the step itself, and the
+// exclusive end does not belong to the step.
+func TestPropStepLookupConsistent(t *testing.T) {
+	propcheck.Check(t, edgen.Trace(edgen.TraceShape{}), func(tr trace.Trace) error {
+		for i, s := range tr.Steps {
+			mid := s.Start + s.Duration()/2
+			if got := tr.StepOf(mid); got != i {
+				return fmt.Errorf("StepOf(mid of step %d) = %d", i, got)
+			}
+			if got := tr.StepOf(s.Start); got != i {
+				return fmt.Errorf("StepOf(start of step %d) = %d (start is inclusive)", i, got)
+			}
+			if got := tr.FollowingStep(s.Start); got != i {
+				return fmt.Errorf("FollowingStep(start of step %d) = %d", i, got)
+			}
+			if got := tr.StepOf(s.End); got == i {
+				return fmt.Errorf("StepOf(end of step %d) = %d (end is exclusive)", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropStepsOfPhasePartition: every step index appears in exactly one
+// of the train/validation phase lists, and skipping an epoch removes
+// exactly that epoch's steps.
+func TestPropStepsOfPhasePartition(t *testing.T) {
+	propcheck.Check(t, edgen.Trace(edgen.TraceShape{}), func(tr trace.Trace) error {
+		train := tr.StepsOfPhase(trace.PhaseTrain)
+		val := tr.StepsOfPhase(trace.PhaseValidation)
+		if len(train)+len(val) != len(tr.Steps) {
+			return fmt.Errorf("phases partition %d+%d steps of %d", len(train), len(val), len(tr.Steps))
+		}
+		seen := map[int]bool{}
+		for _, i := range append(append([]int(nil), train...), val...) {
+			if seen[i] {
+				return fmt.Errorf("step %d listed twice", i)
+			}
+			seen[i] = true
+		}
+		trainSkip0 := tr.StepsOfPhase(trace.PhaseTrain, 0)
+		for _, i := range trainSkip0 {
+			if tr.Steps[i].Epoch == 0 {
+				return fmt.Errorf("step %d of skipped epoch 0 still listed", i)
+			}
+		}
+		want := 0
+		for _, i := range train {
+			if tr.Steps[i].Epoch != 0 {
+				want++
+			}
+		}
+		if len(trainSkip0) != want {
+			return fmt.Errorf("skip-epoch list has %d steps, want %d", len(trainSkip0), want)
+		}
+		return nil
+	})
+}

@@ -23,11 +23,55 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The pipeline's concurrency contract (determinism across worker counts,
-# prompt cancellation, no goroutine leaks) gets an extra stress pass:
-# shuffled test order, run twice, under the race detector.
-echo "==> go test -race -shuffle=on -count=2 ./internal/pipeline/..."
-go test -race -shuffle=on -count=2 ./internal/pipeline/...
+# The concurrency and determinism contracts (stable results across worker
+# counts, prompt cancellation, no goroutine leaks, order-independent
+# aggregation and model selection) get an extra stress pass: shuffled test
+# order, run twice, under the race detector, across the deterministic core
+# of the modeling path.
+shuffle_pkgs="./internal/pipeline/... ./internal/aggregate/... ./internal/epoch/... ./internal/modeling/... ./internal/pmnf/... ./internal/analysis/..."
+echo "==> go test -race -shuffle=on -count=2 (pipeline + modeling core)"
+go test -race -shuffle=on -count=2 $shuffle_pkgs
+
+# edcheck: the propcheck invariant suites (TestProp*) rerun in their
+# long-haul configuration — 5x the per-property iteration count under a
+# 55-second budget. Any failure prints a one-line EDCHECK_SEED replay
+# recipe; the budget keeps the gate cheap as suites accumulate.
+echo "==> edcheck (long-haul propcheck invariants: 5x iterations, 55s budget)"
+go run ./cmd/edcheck
+
+# Coverage-regression gate: per-package statement coverage must not drop
+# more than 2 points below the committed baseline. Refresh the baseline
+# deliberately (see the regeneration hint below) when coverage moves for a
+# good reason; silent erosion fails the gate.
+echo "==> coverage regression (baseline: COVERAGE_baseline.txt, 2pt tolerance)"
+cover_current=$(mktemp)
+trap 'rm -f "$cover_current"' EXIT
+go test -cover ./internal/... |
+	awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") { p = $(i + 1); sub(/%/, "", p); print $2, p } }' |
+	sort >"$cover_current"
+awk '
+	NR == FNR { base[$1] = $2; next }
+	{ cur[$1] = $2 }
+	END {
+		bad = 0
+		for (pkg in base) {
+			if (!(pkg in cur)) {
+				printf "coverage: %s has a baseline (%.1f%%) but was missing from this run\n", pkg, base[pkg]
+				bad = 1
+			} else if (cur[pkg] < base[pkg] - 2) {
+				printf "coverage regression: %s %.1f%% is more than 2pt below the %.1f%% baseline\n", pkg, cur[pkg], base[pkg]
+				bad = 1
+			}
+		}
+		for (pkg in cur) if (!(pkg in base)) {
+			printf "coverage: note: %s (%.1f%%) is new — add it to COVERAGE_baseline.txt\n", pkg, cur[pkg]
+		}
+		if (bad) {
+			print "coverage gate failed; after a deliberate change, refresh with:"
+			print "  go test -cover ./internal/... | awk <see verify.sh> | sort > COVERAGE_baseline.txt"
+		}
+		exit bad
+	}' COVERAGE_baseline.txt "$cover_current"
 
 # edlint-bench: the full-module lint (parse + type-check + 10-analyzer
 # suite) is itself part of the gate, so it must stay cheap. The stage
@@ -50,5 +94,6 @@ fi
 echo "==> fuzz smoke (5s per target)"
 go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=5s ./internal/importer
 go test -run='^$' -fuzz='^FuzzProfileRead$' -fuzztime=5s ./internal/profile
+go test -run='^$' -fuzz='^FuzzParseFileName$' -fuzztime=5s ./internal/profile
 
 echo "verify.sh: all gates passed"
