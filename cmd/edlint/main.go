@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	edlint [-run analyzers] [-list] [-json] [patterns ...]
+//	edlint [-analyzers names] [-list] [-json] [-cachedir dir] [-nocache] [patterns ...]
 //
 // Patterns follow the go tool's shape relative to the current directory:
 // "./..." (the default) selects every package, "./dir/..." a subtree, and
@@ -12,13 +12,26 @@
 // type-checked — analysis is only *reported* for matching packages, so
 // cross-package facts stay sound.
 //
+// Repeated runs are incremental: type-checked standard-library export
+// data and, for unchanged trees, the findings themselves are cached on
+// disk under -cachedir (default: the user cache directory, e.g.
+// ~/.cache/edlint). The cache is content-addressed — any edit, analyzer
+// change or toolchain change invalidates it — and -nocache disables it
+// entirely. Narrowed pattern runs never touch the findings cache. The
+// findings layer also keys on the edlint executable (path, size, mtime),
+// so a rebuilt binary re-analyzes instead of trusting stale findings;
+// note that `go run` builds into a fresh temp path every invocation and
+// therefore always misses that layer (the std-bundle layer still hits).
+//
 // With -json each finding is printed as one JSON object per line
-// ({"file","line","col","analyzer","message"}), for editor and CI
-// integration; the exit status is unchanged.
+// ({"file","line","col","analyzer","message"}), followed by one final
+// summary object ({"summary":{...}}) with per-analyzer finding counts,
+// load/analyze wall time and the cache outcomes; the exit status is
+// unchanged by -json.
 //
 // Exit status: 0 when clean, 1 when findings were printed, 2 on usage or
-// load errors. Findings are suppressed with a mandatory reason at three
-// scopes —
+// load errors — identical with and without the cache. Findings are
+// suppressed with a mandatory reason at three scopes —
 //
 //	//edlint:ignore <analyzer> <reason>        (line and line below)
 //	//edlint:ignore-block <analyzer> <reason>  (the syntax node below)
@@ -48,21 +61,47 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// jsonSummary is the final -json line: one object keyed "summary" so
+// stream consumers can tell it from findings without counting lines.
+type jsonSummary struct {
+	Summary jsonSummaryBody `json:"summary"`
+}
+
+type jsonSummaryBody struct {
+	Findings      int            `json:"findings"`
+	ByAnalyzer    map[string]int `json:"by_analyzer,omitempty"`
+	Packages      int            `json:"packages"`
+	LoadMS        int64          `json:"load_ms"`
+	AnalyzeMS     int64          `json:"analyze_ms"`
+	StdCache      string         `json:"std_cache"`
+	FindingsCache string         `json:"findings_cache"`
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	runSpec := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	analyzersSpec := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	runSpec := flag.String("run", "", "alias for -analyzers (kept for compatibility)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
-	jsonOut := flag.Bool("json", false, "print findings as JSON Lines instead of file:line:col text")
+	jsonOut := flag.Bool("json", false, "print findings as JSON Lines plus a final summary object")
+	cacheDir := flag.String("cachedir", lint.DefaultCacheDir(), "incremental cache directory (empty disables caching)")
+	noCache := flag.Bool("nocache", false, "disable the incremental cache for this run")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: edlint [-run analyzers] [-list] [-json] [patterns ...]")
+		fmt.Fprintln(os.Stderr, "usage: edlint [-analyzers names] [-list] [-json] [-cachedir dir] [-nocache] [patterns ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers, err := lint.Select(*runSpec)
+	spec := *analyzersSpec
+	if spec == "" {
+		spec = *runSpec
+	} else if *runSpec != "" && *runSpec != spec {
+		fmt.Fprintln(os.Stderr, "edlint: -run and -analyzers are aliases; set only one")
+		return 2
+	}
+	analyzers, err := lint.Select(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -84,25 +123,32 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	mod, err := lint.LoadModule(root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	filter, err := packageFilter(mod, cwd, patterns)
+	filter, err := packageFilter(root, cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 
-	diags := lint.Run(mod, analyzers, filter)
+	diags, stats, err := lint.Lint(root, lint.Options{
+		Analyzers: analyzers,
+		Filter:    filter,
+		CacheDir:  *cacheDir,
+		NoCache:   *noCache || *cacheDir == "",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
 	enc := json.NewEncoder(os.Stdout)
+	byAnalyzer := make(map[string]int)
 	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
@@ -122,6 +168,20 @@ func run() int {
 		}
 		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
+	if *jsonOut {
+		if err := enc.Encode(jsonSummary{Summary: jsonSummaryBody{
+			Findings:      len(diags),
+			ByAnalyzer:    byAnalyzer,
+			Packages:      stats.Packages,
+			LoadMS:        stats.LoadMS,
+			AnalyzeMS:     stats.AnalyzeMS,
+			StdCache:      stats.StdCache,
+			FindingsCache: stats.FindingsCache,
+		}}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "edlint: %d finding(s)\n", len(diags))
 		return 1
@@ -130,8 +190,10 @@ func run() int {
 }
 
 // packageFilter compiles go-style directory patterns into a package
-// predicate over the loaded module.
-func packageFilter(mod *lint.Module, cwd string, patterns []string) (func(*lint.Package) bool, error) {
+// predicate over the module rooted at root. Selecting the whole module
+// returns a nil filter, which keeps the findings cache eligible — a
+// narrowed run reports a subset and must never be cached as the whole.
+func packageFilter(root, cwd string, patterns []string) (func(*lint.Package) bool, error) {
 	type rule struct {
 		dir     string
 		subtree bool
@@ -158,6 +220,16 @@ func packageFilter(mod *lint.Module, cwd string, patterns []string) (func(*lint.
 			return nil, fmt.Errorf("edlint: bad pattern %q: %w", p, err)
 		}
 		rules = append(rules, rule{dir: dir, subtree: subtree})
+	}
+	wholeModule := false
+	for _, r := range rules {
+		if r.subtree && r.dir == root {
+			wholeModule = true
+			break
+		}
+	}
+	if wholeModule {
+		return nil, nil
 	}
 	return func(pkg *lint.Package) bool {
 		for _, r := range rules {

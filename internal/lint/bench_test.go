@@ -24,6 +24,69 @@ func BenchmarkLintRepo(b *testing.B) {
 	}
 }
 
+// BenchmarkLintRepoWarm measures the fully warm cache path: both the
+// standard-library bundle and the findings cache are primed, so one
+// iteration is a content re-hash plus a cache read — the cost of a
+// repeated edlint run over an unchanged tree. The ratio to
+// BenchmarkLintRepo is the incremental cache's headline speedup; both
+// numbers are recorded in BENCH_lint.json.
+func BenchmarkLintRepoWarm(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatalf("locating module root: %v", err)
+	}
+	cacheDir := b.TempDir()
+	if _, _, err := Lint(root, Options{CacheDir: cacheDir}); err != nil {
+		b.Fatalf("priming caches: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, stats, err := Lint(root, Options{CacheDir: cacheDir})
+		if err != nil {
+			b.Fatalf("warm lint: %v", err)
+		}
+		if stats.FindingsCache != "hit" {
+			b.Fatalf("warm iteration was a findings-cache %s, want hit", stats.FindingsCache)
+		}
+		if len(diags) > 0 {
+			b.Fatalf("repository is not lint-clean: %d finding(s), first: %s", len(diags), diags[0])
+		}
+	}
+}
+
+// BenchmarkLintRepoWarmLoad measures the std-bundle-warm load path with
+// the findings cache disabled: every iteration re-type-checks the module
+// itself and reruns the analyzers, but resolves the standard library from
+// the cached export bundle instead of source. The gap to BenchmarkLintRepo
+// is the stdlib type-check share the bundle eliminates; the gap to
+// BenchmarkLintRepoWarm is the honest cost of an edit that misses the
+// findings cache.
+func BenchmarkLintRepoWarmLoad(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatalf("locating module root: %v", err)
+	}
+	cacheDir := b.TempDir()
+	if _, _, err := Lint(root, Options{CacheDir: cacheDir}); err != nil {
+		b.Fatalf("priming caches: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, stats, err := Lint(root, Options{CacheDir: cacheDir, NoFindingsCache: true})
+		if err != nil {
+			b.Fatalf("warm-load lint: %v", err)
+		}
+		if stats.StdCache != "hit" {
+			b.Fatalf("warm-load iteration was a std-bundle %s, want hit", stats.StdCache)
+		}
+		if len(diags) > 0 {
+			b.Fatalf("repository is not lint-clean: %d finding(s), first: %s", len(diags), diags[0])
+		}
+	}
+}
+
 // BenchmarkAnalyzeOnly isolates the analyzer suite from the load: the
 // module is parsed and type-checked once, then each iteration reruns
 // every default analyzer. The gap to BenchmarkLintRepo is the

@@ -1,0 +1,490 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"go/build"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is edlint's incremental load cache and the high-level Lint
+// entry point that ties it to the loader and the analyzers. Two layers,
+// invalidated independently, both content-addressed:
+//
+// Layer 1 — the standard-library bundle. A cold edlint run spends nearly
+// all of its time type-checking the ~140-package stdlib closure from
+// source (the module itself checks in tens of milliseconds). The bundle
+// persists that closure once, via the edexport codec, keyed by toolchain
+// identity (go version + GOOS + GOARCH + format) and verified against a
+// stat manifest (file name, size, mtime per package directory), so a
+// GOROOT edit or toolchain swap degrades to a rebuild, never a stale hit.
+// A preflight checks that every direct std import of the module is
+// covered by the bundle before any of it is used: coverage is
+// all-or-nothing because go/types compares named types by object
+// identity, and a universe mixed from cached and freshly-checked
+// packages would make stdlib types unequal to themselves.
+//
+// Layer 2 — the findings cache. When the module's content (every .go
+// file plus go.mod, SHA-256 over bytes), the analyzer set, the toolchain
+// and the analyzing executable are all unchanged, the previous run's
+// diagnostics are returned without loading anything. Any edit anywhere
+// changes the key; reverting the edit restores the old key and its hit.
+// Package filters bypass this layer: a filtered run's findings are a
+// subset and must never be served as the whole.
+//
+// Every failure mode — unreadable file, corrupt gob, version skew, stale
+// manifest — degrades to a cache miss and a cold load. Writes go through
+// a temp file + rename so a crashed run can't leave a torn entry.
+
+// lintCacheFormat versions both cache file layouts; bump on change.
+const lintCacheFormat = 1
+
+// Options configures a Lint run. The zero value runs the default
+// analyzer suite over every package with caching under DefaultCacheDir.
+type Options struct {
+	// Analyzers to run; nil means DefaultAnalyzers().
+	Analyzers []*Analyzer
+	// Filter restricts reported packages (nil selects everything). A
+	// non-nil filter bypasses the findings cache.
+	Filter func(*Package) bool
+	// CacheDir overrides the cache location; "" means DefaultCacheDir().
+	CacheDir string
+	// NoCache disables both cache layers.
+	NoCache bool
+	// NoFindingsCache keeps the std bundle but always re-analyzes; used
+	// by benchmarks that measure the warm load path itself.
+	NoFindingsCache bool
+	// Workers bounds type-checking concurrency; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// Stats reports where a Lint run's time went and how the caches resolved.
+type Stats struct {
+	// Packages is the number of analysis units checked (0 on a findings
+	// cache hit, which loads nothing).
+	Packages int
+	// Findings is the number of diagnostics returned.
+	Findings int
+	// LoadMS and AnalyzeMS split the run's wall time; on a findings hit
+	// LoadMS covers only the module hash.
+	LoadMS    int64
+	AnalyzeMS int64
+	// StdCache is "hit", "miss", or "off".
+	StdCache string
+	// FindingsCache is "hit", "miss", "bypass" (filter set), or "off".
+	FindingsCache string
+	// Workers is the effective type-check concurrency.
+	Workers int
+}
+
+// DefaultCacheDir returns the per-user edlint cache directory, or "" when
+// the platform reports no user cache location (caching is then disabled).
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "edlint")
+}
+
+// Lint loads the module rooted at root and runs the analyzers over it,
+// consulting and refreshing the on-disk caches. The returned diagnostics
+// are byte-identical to a cacheless run: both layers key on content, and
+// the parity is pinned by TestLintCacheParity and the propcheck suite.
+func Lint(root string, opts Options) ([]Diagnostic, *Stats, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = DefaultAnalyzers()
+	}
+	cacheDir := opts.CacheDir
+	if cacheDir == "" {
+		cacheDir = DefaultCacheDir()
+	}
+	if opts.NoCache {
+		cacheDir = ""
+	}
+
+	stats := &Stats{StdCache: "off", FindingsCache: "off"}
+	start := time.Now()
+
+	// Layer 2 first: on a findings hit nothing needs loading at all.
+	var findKey string
+	if cacheDir != "" {
+		switch {
+		case opts.Filter != nil:
+			stats.FindingsCache = "bypass"
+		case opts.NoFindingsCache:
+			stats.FindingsCache = "off"
+		default:
+			findKey, err = findingsKey(root, analyzers)
+			if err != nil {
+				return nil, nil, err
+			}
+			if diags, ok := loadFindings(cacheDir, findKey); ok {
+				stats.FindingsCache = "hit"
+				stats.Findings = len(diags)
+				stats.LoadMS = time.Since(start).Milliseconds()
+				return diags, stats, nil
+			}
+			stats.FindingsCache = "miss"
+		}
+	}
+
+	// Layers miss or are off: load the module, offering the std bundle.
+	lopts := LoadOptions{Workers: opts.Workers}
+	if cacheDir != "" {
+		stats.StdCache = "miss"
+		lopts.StdProvider = func(directs []string) map[string]*types.Package {
+			return loadStdBundle(cacheDir, directs)
+		}
+	}
+	mod, lstats, err := LoadModuleWith(root, lopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lstats.StdCacheHit {
+		stats.StdCache = "hit"
+	}
+	stats.Workers = lstats.Workers
+	stats.Packages = len(mod.Pkgs)
+	stats.LoadMS = time.Since(start).Milliseconds()
+
+	mark := time.Now()
+	diags := Run(mod, analyzers, opts.Filter)
+	stats.AnalyzeMS = time.Since(mark).Milliseconds()
+	stats.Findings = len(diags)
+
+	if cacheDir != "" {
+		if stats.StdCache == "miss" {
+			saveStdBundle(cacheDir, lstats.StdUsed)
+		}
+		if findKey != "" {
+			saveFindings(cacheDir, findKey, diags)
+		}
+	}
+	return diags, stats, nil
+}
+
+// ---- layer 1: the standard-library bundle ----
+
+// stdCacheFile is the on-disk shape of the bundle: the stat manifest
+// travels outside the export data so staleness is detected by a cheap
+// directory scan, without decoding the multi-megabyte type graph.
+type stdCacheFile struct {
+	Format   int
+	Manifest []pkgStamp
+	Bundle   []byte
+}
+
+// pkgStamp records the identity of one stdlib package directory.
+type pkgStamp struct {
+	Path  string
+	Dir   string
+	Files []fileStamp
+}
+
+// fileStamp is one source file's stat identity.
+type fileStamp struct {
+	Name    string
+	Size    int64
+	MtimeNS int64
+}
+
+// stdBundlePath keys the bundle file by toolchain identity, so toolchain
+// upgrades coexist instead of thrashing one slot.
+func stdBundlePath(cacheDir string) string {
+	id := fmt.Sprintf("%s-%s-%s-f%d", runtime.Version(), runtime.GOOS, runtime.GOARCH, lintCacheFormat)
+	return filepath.Join(cacheDir, "std-"+sanitizeFileName(id)+".bin")
+}
+
+// sanitizeFileName keeps cache file names portable.
+func sanitizeFileName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// loadStdBundle returns the cached stdlib universe when it is present,
+// stat-fresh, and covers every direct import; nil (a miss) otherwise.
+func loadStdBundle(cacheDir string, directs []string) map[string]*types.Package {
+	data, err := os.ReadFile(stdBundlePath(cacheDir))
+	if err != nil {
+		return nil
+	}
+	var f stdCacheFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil || f.Format != lintCacheFormat {
+		return nil
+	}
+	for _, ps := range f.Manifest {
+		if !stampFresh(ps) {
+			return nil
+		}
+	}
+	universe, err := importPackages(f.Bundle)
+	if err != nil {
+		return nil
+	}
+	for _, p := range directs {
+		if _, ok := universe[p]; !ok {
+			return nil // partial coverage would mix universes; miss instead
+		}
+	}
+	return universe
+}
+
+// saveStdBundle persists the closure of the std packages a cold load
+// used. Best-effort: a failure to save only costs the next run its warm
+// start, so errors are deliberately dropped.
+func saveStdBundle(cacheDir string, used map[string]*types.Package) {
+	if len(used) == 0 {
+		return
+	}
+	paths := make([]string, 0, len(used))
+	for p := range used {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	roots := make([]*types.Package, 0, len(used))
+	for _, p := range paths {
+		roots = append(roots, used[p])
+	}
+	bundle, err := exportPackages(roots)
+	if err != nil {
+		return
+	}
+	f := stdCacheFile{Format: lintCacheFormat, Bundle: bundle}
+	for _, p := range importClosure(roots) {
+		if ps, ok := stampPackage(p.Path()); ok {
+			f.Manifest = append(f.Manifest, ps)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return
+	}
+	_ = writeFileAtomic(stdBundlePath(cacheDir), buf.Bytes())
+}
+
+// stampPackage records the current stat identity of one stdlib package
+// directory. Unstampable packages ("unsafe", synthesized paths) are
+// skipped rather than failing the save.
+func stampPackage(path string) (pkgStamp, bool) {
+	if path == "unsafe" {
+		return pkgStamp{}, false
+	}
+	bp, err := build.Default.Import(path, "", build.FindOnly)
+	if err != nil || bp.Dir == "" {
+		return pkgStamp{}, false
+	}
+	files, ok := stampDir(bp.Dir)
+	if !ok {
+		return pkgStamp{}, false
+	}
+	return pkgStamp{Path: path, Dir: bp.Dir, Files: files}, true
+}
+
+// stampDir stats every .go file of one directory, in name order.
+func stampDir(dir string) ([]fileStamp, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false
+	}
+	var out []fileStamp
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, fileStamp{Name: name, Size: fi.Size(), MtimeNS: fi.ModTime().UnixNano()})
+	}
+	return out, true
+}
+
+// stampFresh re-stats one manifest entry and reports whether it matches.
+func stampFresh(ps pkgStamp) bool {
+	files, ok := stampDir(ps.Dir)
+	if !ok || len(files) != len(ps.Files) {
+		return false
+	}
+	for i, f := range files {
+		if f != ps.Files[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- layer 2: the findings cache ----
+
+// findingsFile is the on-disk shape of one cached run.
+type findingsFile struct {
+	Format int
+	Key    string
+	Diags  []Diagnostic
+}
+
+// findingsKey fingerprints everything the diagnostics depend on: the
+// cache format, the toolchain, the analyzing executable, the module root
+// and its full .go/go.mod content, and the analyzer suite. Content
+// hashes, not mtimes: touching a file without changing it keeps the key,
+// and reverting an edit restores it.
+func findingsKey(root string, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "edlint-findings/%d\n%s/%s/%s\n", lintCacheFormat, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	exe, stamp, err := executableStamp()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "exe %s %s\n", exe, stamp)
+	fmt.Fprintf(h, "root %s\n", root)
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	fmt.Fprintf(h, "analyzers %s\n", strings.Join(names, ","))
+	if err := hashModuleContent(h, root); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// executableStamp identifies the running binary by path, size and mtime:
+// rebuilding edlint (or the test binary) with changed analyzer logic must
+// invalidate cached findings even though no module file moved.
+func executableStamp() (string, string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", "", err
+	}
+	fi, err := os.Stat(exe)
+	if err != nil {
+		return "", "", err
+	}
+	return exe, fmt.Sprintf("%d/%d", fi.Size(), fi.ModTime().UnixNano()), nil
+}
+
+// hashModuleContent feeds every module source file the loader would parse
+// (plus go.mod) into h as "relpath\x00sha256(content)\n" records in
+// sorted path order, applying the loader's directory skip rules so edits
+// the load cannot see (testdata, vendor, hidden trees) don't churn keys.
+func hashModuleContent(h interface{ Write(p []byte) (int, error) }, root string) error {
+	var rels []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, p)
+		if rerr != nil {
+			return rerr
+		}
+		rels = append(rels, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rels = append(rels, "go.mod")
+	sort.Strings(rels)
+	for _, rel := range rels {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		_, _ = fmt.Fprintf(h, "%s\x00%s\n", rel, hex.EncodeToString(sum[:]))
+	}
+	return nil
+}
+
+// findingsPath addresses one cached run by a prefix of its key; the full
+// key is re-verified inside the file, so prefix collisions only miss.
+func findingsPath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, "find-"+key[:16]+".bin")
+}
+
+// loadFindings returns the cached diagnostics for key, if any.
+func loadFindings(cacheDir, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(findingsPath(cacheDir, key))
+	if err != nil {
+		return nil, false
+	}
+	var f findingsFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil ||
+		f.Format != lintCacheFormat || f.Key != key {
+		return nil, false
+	}
+	return f.Diags, true
+}
+
+// saveFindings persists one run's diagnostics. Best-effort, like the
+// bundle save.
+func saveFindings(cacheDir, key string, diags []Diagnostic) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(findingsFile{Format: lintCacheFormat, Key: key, Diags: diags}); err != nil {
+		return
+	}
+	_ = writeFileAtomic(findingsPath(cacheDir, key), buf.Bytes())
+}
+
+// writeFileAtomic writes data via a temp file + rename, so readers only
+// ever observe absent or complete cache entries.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixtureModule copies the interproc fixture module into a fresh
+// temp directory so tests can mutate it freely.
+func copyFixtureModule(t testing.TB) string {
+	t.Helper()
+	dst := t.TempDir()
+	if err := copyTree(filepath.Join("testdata", "src", "interproc"), dst); err != nil {
+		t.Fatalf("copying fixture module: %v", err)
+	}
+	return dst
+}
+
+// TestLintCacheParity is the cold/warm contract on a module with a rich,
+// non-empty finding set (the interproc fixture): a cacheless run, a
+// cache-priming run, a std-bundle-warm run and a findings-cache-hit run
+// must all produce byte-identical diagnostics, and the cache states must
+// progress miss → hit.
+func TestLintCacheParity(t *testing.T) {
+	root := copyFixtureModule(t)
+	cacheDir := t.TempDir()
+
+	cold, _, err := Lint(root, Options{NoCache: true})
+	if err != nil {
+		t.Fatalf("cacheless run: %v", err)
+	}
+	if len(cold) == 0 {
+		t.Fatalf("fixture module produced no findings; the parity test needs a non-empty set")
+	}
+	want := formatDiags(cold)
+
+	prime, pstats, err := Lint(root, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("priming run: %v", err)
+	}
+	if pstats.StdCache != "miss" || pstats.FindingsCache != "miss" {
+		t.Errorf("priming run: StdCache=%s FindingsCache=%s, want miss/miss", pstats.StdCache, pstats.FindingsCache)
+	}
+	if got := formatDiags(prime); got != want {
+		t.Errorf("priming run diverges from cacheless run\n--- cacheless ---\n%s--- priming ---\n%s", want, got)
+	}
+
+	warm, wstats, err := Lint(root, Options{CacheDir: cacheDir, NoFindingsCache: true})
+	if err != nil {
+		t.Fatalf("std-warm run: %v", err)
+	}
+	if wstats.StdCache != "hit" {
+		t.Errorf("std-warm run: StdCache=%s, want hit", wstats.StdCache)
+	}
+	if got := formatDiags(warm); got != want {
+		t.Errorf("std-warm run diverges from cacheless run\n--- cacheless ---\n%s--- warm ---\n%s", want, got)
+	}
+
+	hit, hstats, err := Lint(root, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("findings-hit run: %v", err)
+	}
+	if hstats.FindingsCache != "hit" {
+		t.Errorf("findings run: FindingsCache=%s, want hit", hstats.FindingsCache)
+	}
+	if got := formatDiags(hit); got != want {
+		t.Errorf("findings-cache hit diverges from cacheless run\n--- cacheless ---\n%s--- hit ---\n%s", want, got)
+	}
+}
+
+// TestLintFilterBypassesFindingsCache: a package filter must never be
+// served from — or poison — the findings cache.
+func TestLintFilterBypassesFindingsCache(t *testing.T) {
+	root := copyFixtureModule(t)
+	cacheDir := t.TempDir()
+	filter := func(p *Package) bool { return strings.HasSuffix(p.Path, "/modeling") }
+	diags, stats, err := Lint(root, Options{CacheDir: cacheDir, Filter: filter})
+	if err != nil {
+		t.Fatalf("filtered run: %v", err)
+	}
+	if stats.FindingsCache != "bypass" {
+		t.Errorf("filtered run: FindingsCache=%s, want bypass", stats.FindingsCache)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos.Filename, "modeling") {
+			t.Errorf("filtered run leaked a finding outside the filter: %s", d)
+		}
+	}
+	// A full run right after must be a miss, not a hit on the subset.
+	full, fstats, err := Lint(root, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if fstats.FindingsCache != "miss" {
+		t.Errorf("full run after filtered run: FindingsCache=%s, want miss", fstats.FindingsCache)
+	}
+	if len(full) <= len(diags) {
+		t.Errorf("full run found %d diagnostics, filtered run %d; the full set must be strictly larger here",
+			len(full), len(diags))
+	}
+}
+
+// TestLoadModuleWorkersParity: the parallel loader must produce the same
+// analysis — same unit order, same findings — for any worker count. Run
+// under -race this doubles as the loader's data-race test.
+func TestLoadModuleWorkersParity(t *testing.T) {
+	root := copyFixtureModule(t)
+	seq, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("sequential load: %v", err)
+	}
+	par, _, err := LoadModuleWith(root, LoadOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(seq.Pkgs) != len(par.Pkgs) {
+		t.Fatalf("unit count differs: sequential %d, parallel %d", len(seq.Pkgs), len(par.Pkgs))
+	}
+	for i := range seq.Pkgs {
+		if seq.Pkgs[i].Path != par.Pkgs[i].Path {
+			t.Errorf("unit %d: sequential %s, parallel %s", i, seq.Pkgs[i].Path, par.Pkgs[i].Path)
+		}
+	}
+	a := formatDiags(Run(seq, DefaultAnalyzers(), nil))
+	b := formatDiags(Run(par, DefaultAnalyzers(), nil))
+	if a != b {
+		t.Errorf("findings differ between sequential and parallel load\n--- sequential ---\n%s--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestImportCycleReported: the upfront cycle check must name the cycle
+// instead of deadlocking or reporting a bare failure under concurrency.
+func TestImportCycleReported(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module cyc\n\ngo 1.24\n")
+	write("a/a.go", "package a\n\nimport \"cyc/b\"\n\nvar A = b.B\n")
+	write("b/b.go", "package b\n\nimport \"cyc/a\"\n\nvar B = a.A\n")
+	_, _, err := LoadModuleWith(root, LoadOptions{Workers: 4})
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("cyclic module: got error %v, want an import cycle report", err)
+	}
+}
+
+// TestStdBundleCorruptFallsBack: a torn or garbage bundle file must
+// degrade to a miss (and a successful cold load), never an error.
+func TestStdBundleCorruptFallsBack(t *testing.T) {
+	root := copyFixtureModule(t)
+	cacheDir := t.TempDir()
+	if err := os.WriteFile(stdBundlePath(cacheDir), []byte("not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Lint(root, Options{CacheDir: cacheDir, NoFindingsCache: true})
+	if err != nil {
+		t.Fatalf("lint with corrupt bundle: %v", err)
+	}
+	if stats.StdCache != "miss" {
+		t.Errorf("corrupt bundle: StdCache=%s, want miss", stats.StdCache)
+	}
+}

@@ -38,16 +38,20 @@ var CtxFlow = &Analyzer{
 	Run: runCtxFlow,
 }
 
-func runCtxFlow(pass *Pass) {
-	path := strings.TrimSuffix(pass.Path, "_test")
-	policed := false
+// ctxPoliced reports whether the unit path (test suffix ignored) is in
+// the concurrency core.
+func ctxPoliced(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
 	for _, p := range ctxPolicedPackages {
 		if strings.HasSuffix(path, p) {
-			policed = true
-			break
+			return true
 		}
 	}
-	if !policed {
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	if !ctxPoliced(pass.Path) {
 		return
 	}
 	for _, file := range pass.Files {
@@ -68,11 +72,35 @@ func runCtxFlow(pass *Pass) {
 						pass.Reportf(n.Pos(),
 							"context.%s() inside a function that already has a context.Context parameter drops the enclosing context; propagate the ctx parameter instead",
 							name)
+						return true
 					}
+					checkCtxCallSummary(pass, fd, hasCtxParam, n)
 				}
 				return true
 			})
 		})
+	}
+}
+
+// checkCtxCallSummary applies the interprocedural ctxflow rules to one
+// call: the statically resolved callee's summary says it drops the
+// context (creates a root context while accepting none) or spawns a
+// goroutine no context can reach. Callees inside the policed packages
+// are skipped — their own bodies already yield the finding.
+func checkCtxCallSummary(pass *Pass, fd *ast.FuncDecl, hasCtxParam bool, call *ast.CallExpr) {
+	cs := pass.Sums.LookupCall(pass.Info, call)
+	if cs == nil || ctxPoliced(cs.Pkg) {
+		return
+	}
+	if hasCtxParam && !cs.HasCtxParam && cs.DropsContext != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s drops the enclosing context: the callee takes no context.Context and creates a root context inside (%s); thread the ctx parameter through the helper instead",
+			cs.Display, cs.DropsContext.render(funcDisplay(pass, fd), cs.Display))
+	}
+	if cs.SpawnsDetached != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s starts a goroutine that no context.Context can reach (%s); cancellation cannot drain it — pass a ctx into the spawn chain or suppress with //edlint:ignore ctxflow <reason>",
+			cs.Display, cs.SpawnsDetached.render(funcDisplay(pass, fd), cs.Display))
 	}
 }
 

@@ -59,8 +59,34 @@ type taintSource struct {
 	// pos is where the source is introduced (the call or range keyword).
 	pos token.Pos
 	// desc renders the source for messages, e.g. "time.Now()" or
-	// "range over m".
+	// "range over m". For interprocedural sources it is the callee's
+	// display name ("formatRows").
 	desc string
+	// interproc marks a source introduced by a call to a function whose
+	// summary carries the effect (edlint v3); trace is the callee's chain
+	// down to the root cause and calleePkg its defining unit's path, so
+	// analyzers can skip call sites whose callee already reports the
+	// effect intra-procedurally.
+	interproc bool
+	trace     []string
+	calleePkg string
+}
+
+// mapOrdered reports whether the source is a map-iteration-order class.
+func (s *taintSource) mapOrdered() bool {
+	return s.kind == srcMapRange || s.kind == srcSyncMapRange
+}
+
+// asTrace renders the source as an effect trace: the source description,
+// prefixed by the callee chain for interprocedural sources.
+func (s *taintSource) asTrace() *EffectTrace {
+	return &EffectTrace{Chain: append([]string{s.desc}, s.trace...)}
+}
+
+// via renders the cross-function chain for a finding at a call site, with
+// the given head elements (typically the enclosing function) first.
+func (s *taintSource) via(head ...string) string {
+	return s.asTrace().render(head...)
 }
 
 // flowSet is the result of the reaching analysis for one function
@@ -108,6 +134,8 @@ func (f *flowSet) seed(fn *ast.FuncDecl) {
 			}
 		case *ast.CallExpr:
 			if src := nondetCallSource(f.pass, n); src != nil {
+				f.sources = append(f.sources, src)
+			} else if src := summaryCallSource(f.pass, n); src != nil {
 				f.sources = append(f.sources, src)
 			}
 			if lit := syncMapRangeCallback(f.pass, n); lit != nil {
@@ -226,11 +254,46 @@ func (f *flowSet) exprSource(e ast.Expr) *taintSource {
 		case *ast.CallExpr:
 			if src := nondetCallSource(f.pass, n); src != nil {
 				found = src
+			} else if src := summaryCallSource(f.pass, n); src != nil {
+				found = src
 			}
 		}
 		return found == nil
 	})
 	return found
+}
+
+// summaryCallSource classifies a call as an interprocedural
+// nondeterminism source: the statically resolved callee's summary says it
+// reads the clock, draws randomness, or returns a map-ordered sequence.
+// The returned source carries the callee's trace so findings can render
+// the whole cross-function chain.
+func summaryCallSource(pass *Pass, call *ast.CallExpr) *taintSource {
+	cs := pass.Sums.LookupCall(pass.Info, call)
+	if cs == nil {
+		return nil
+	}
+	mk := func(kind sourceKind, eff *EffectTrace) *taintSource {
+		return &taintSource{
+			kind:      kind,
+			pos:       call.Pos(),
+			desc:      cs.Display,
+			interproc: true,
+			trace:     eff.Chain,
+			calleePkg: cs.Pkg,
+		}
+	}
+	// Order matters only for values carrying several effects at once; map
+	// order wins because it is the effect the value's consumers observe.
+	switch {
+	case cs.OrderedReturn != nil:
+		return mk(srcMapRange, cs.OrderedReturn)
+	case cs.ReadsClock != nil:
+		return mk(srcTime, cs.ReadsClock)
+	case cs.ReadsRand != nil:
+		return mk(srcRand, cs.ReadsRand)
+	}
+	return nil
 }
 
 // nondetCallSource classifies call as a wall-clock or randomness source.

@@ -1,0 +1,705 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/big"
+	"runtime"
+	"sort"
+)
+
+// This file is edlint's export-data codec ("edexport"): a gob-based
+// serializer for a closed set of type-checked packages, built so the load
+// cache (cache.go) can persist the standard-library universe between runs
+// instead of re-type-checking ~140 stdlib packages from source on every
+// invocation — by far the dominant cost of a cold edlint pass.
+//
+// The encoding is a flat, index-addressed graph: one package table, one
+// type table, objects per package referencing types by index. Cycles
+// (self-referential named types, recursive constraints) are handled the
+// way every Go export format handles them: composite entries for Named
+// and TypeParam types are materialized as placeholders before their
+// components are resolved. Generics are fully supported — type
+// parameters, constraints with unions, generic signatures, and
+// instantiated named types (rebuilt via types.Instantiate) — because the
+// modern stdlib closure includes iter, slices, maps and cmp.
+//
+// Two deliberate simplifications, both invisible to the analyzers:
+// positions are dropped (decoded objects sit at token.NoPos; diagnostics
+// only ever position module AST nodes), and alias type names are decoded
+// in the legacy representation (a TypeName whose type is the aliased
+// type), which types.Identical treats identically.
+//
+// The codec is all-or-nothing by design: a bundle holds the full
+// transitive closure of the packages it was saved with, so every
+// cross-package type reference resolves inside the bundle and no mixed
+// universe (half cached, half freshly source-checked) can arise. Mixing
+// would be unsound: go/types compares named types by object identity, so
+// two copies of "fmt" would make fmt.Stringer unequal to itself.
+
+// expFormat versions the encoding; bump on any incompatible change.
+const expFormat = 1
+
+// Type table entry kinds.
+const (
+	kBasic = iota + 1
+	kUniverse
+	kNamed
+	kInstance
+	kTypeParam
+	kPointer
+	kSlice
+	kArray
+	kMap
+	kChan
+	kStruct
+	kInterface
+	kSignature
+	kUnion
+)
+
+// expBundle is the on-disk shape of one package-set export. All type
+// references are 1-based indices into Types (0 = nil); package
+// references are 0-based indices into Pkgs.
+type expBundle struct {
+	Format   int
+	Go       string // runtime.Version() of the writer
+	OS, Arch string
+	Pkgs     []expPackage
+	Types    []expType
+}
+
+// expPackage is one package: identity, imports, and scope objects.
+type expPackage struct {
+	Path    string
+	Name    string
+	Imports []int
+	Objects []expObject
+}
+
+// expObject is one package-scope object.
+type expObject struct {
+	Kind byte // 'T' type name, 'A' alias, 'F' func, 'V' var, 'C' const
+	Name string
+	Type int // type reference (1-based)
+	Val  expValue
+}
+
+// expType is one type-table entry; which fields are meaningful depends on
+// Kind. gob omits zero-valued fields, so the union stays compact.
+type expType struct {
+	Kind  int
+	Basic int    // kBasic: types.BasicKind
+	Name  string // kNamed/kTypeParam: object name; kUniverse: universe name
+	Pkg   int    // kNamed/kTypeParam: declaring package
+
+	Elem int   // pointer/slice/array/chan elem; named underlying
+	Key  int   // map key
+	Len  int64 // array length
+	Dir  int   // chan direction
+
+	Fields  []expField  // struct fields
+	Params  []expField  // signature parameters
+	Results []expField  // signature results
+	Methods []expMethod // named/interface methods
+	Embeds  []int       // interface embeddeds
+	Terms   []expTerm   // union terms
+
+	Variadic   bool
+	RecvType   int   // signature receiver type (1-based, 0 = none)
+	TParams    []int // named/signature type parameters
+	RTParams   []int // signature receiver type parameters
+	Constraint int   // type parameter constraint
+	Origin     int   // instance origin
+	TArgs      []int // instance type arguments
+}
+
+// expField is a struct field, parameter, or result.
+type expField struct {
+	Name     string
+	Pkg      int
+	Type     int
+	Embedded bool
+	Tag      string
+}
+
+// expMethod is a named-type or interface method.
+type expMethod struct {
+	Name string
+	Pkg  int
+	Sig  int
+}
+
+// expTerm is one union term.
+type expTerm struct {
+	Tilde bool
+	Type  int
+}
+
+// expValue is a constant value. Ints and the rational parts of floats and
+// complex numbers travel as exact decimal strings, so no precision is
+// lost round-tripping untyped constants like math.Pi.
+type expValue struct {
+	Kind byte // 'b' bool, 's' string, 'i' int, 'f' float, 'c' complex, 'u' unknown
+	B    bool
+	S    string
+	Num  string // int/float exact string ("314159/100000" form for floats)
+	INum string // imaginary part of a complex value
+}
+
+// expEncoder assigns stable indices while walking the type graph.
+type expEncoder struct {
+	pkgIndex map[*types.Package]int
+	pkgs     []*types.Package
+	typIndex map[types.Type]int
+	typs     []expType
+}
+
+// exportPackages encodes the transitive import closure of pkgs.
+func exportPackages(pkgs []*types.Package) ([]byte, error) {
+	closure := importClosure(pkgs)
+	e := &expEncoder{
+		pkgIndex: make(map[*types.Package]int),
+		typIndex: make(map[types.Type]int),
+	}
+	// Register the closure first so package indices are assigned in
+	// deterministic (path) order regardless of type-walk order.
+	for _, p := range closure {
+		e.pkg(p)
+	}
+	b := &expBundle{
+		Format: expFormat,
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+	}
+	for _, p := range closure {
+		b.Pkgs = append(b.Pkgs, e.encodePackage(p))
+	}
+	b.Types = e.typs
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// importClosure returns the transitive import closure in path order.
+func importClosure(pkgs []*types.Package) []*types.Package {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package)
+	var all []*types.Package
+	walk = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		all = append(all, p)
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, p := range pkgs {
+		walk(p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Path() < all[j].Path() })
+	return all
+}
+
+// pkg interns a package and returns its index.
+func (e *expEncoder) pkg(p *types.Package) int {
+	if i, ok := e.pkgIndex[p]; ok {
+		return i
+	}
+	i := len(e.pkgs)
+	e.pkgIndex[p] = i
+	e.pkgs = append(e.pkgs, p)
+	return i
+}
+
+// encodePackage serializes one package's identity, imports and scope.
+func (e *expEncoder) encodePackage(p *types.Package) expPackage {
+	xp := expPackage{Path: p.Path(), Name: p.Name()}
+	for _, imp := range p.Imports() {
+		xp.Imports = append(xp.Imports, e.pkg(imp))
+	}
+	if p == types.Unsafe {
+		return xp // unsafe's objects are compiler intrinsics, never encoded
+	}
+	scope := p.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		obj := scope.Lookup(name)
+		xo := expObject{Name: name}
+		switch obj := obj.(type) {
+		case *types.TypeName:
+			if obj.IsAlias() {
+				xo.Kind = 'A'
+				xo.Type = e.typ(types.Unalias(obj.Type()))
+			} else {
+				xo.Kind = 'T'
+				xo.Type = e.typ(obj.Type())
+			}
+		case *types.Func:
+			xo.Kind = 'F'
+			xo.Type = e.typ(obj.Type())
+		case *types.Var:
+			xo.Kind = 'V'
+			xo.Type = e.typ(obj.Type())
+		case *types.Const:
+			xo.Kind = 'C'
+			xo.Type = e.typ(obj.Type())
+			xo.Val = encodeValue(obj.Val())
+		default:
+			continue // builtins and labels never sit in package scopes
+		}
+		xp.Objects = append(xp.Objects, xo)
+	}
+	return xp
+}
+
+// typ interns a type and returns its 1-based reference (0 for nil).
+// Placeholder-before-recursion keeps cyclic graphs terminating: the index
+// is published in typIndex before any component is resolved.
+func (e *expEncoder) typ(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	if a, ok := t.(*types.Alias); ok {
+		return e.typ(types.Unalias(a))
+	}
+	if i, ok := e.typIndex[t]; ok {
+		return i + 1
+	}
+	i := len(e.typs)
+	e.typIndex[t] = i
+	e.typs = append(e.typs, expType{})
+
+	var x expType
+	switch t := t.(type) {
+	case *types.Basic:
+		x = expType{Kind: kBasic, Basic: int(t.Kind())}
+	case *types.Named:
+		switch {
+		case t.Obj().Pkg() == nil:
+			x = expType{Kind: kUniverse, Name: t.Obj().Name()}
+		case t.TypeArgs() != nil && t.TypeArgs().Len() > 0:
+			x.Kind = kInstance
+			x.Origin = e.typ(t.Origin())
+			for j := 0; j < t.TypeArgs().Len(); j++ {
+				x.TArgs = append(x.TArgs, e.typ(t.TypeArgs().At(j)))
+			}
+		default:
+			x.Kind = kNamed
+			x.Pkg = e.pkg(t.Obj().Pkg())
+			x.Name = t.Obj().Name()
+			for j := 0; j < t.TypeParams().Len(); j++ {
+				x.TParams = append(x.TParams, e.typ(t.TypeParams().At(j)))
+			}
+			x.Elem = e.typ(t.Underlying())
+			for j := 0; j < t.NumMethods(); j++ {
+				m := t.Method(j)
+				x.Methods = append(x.Methods, expMethod{Name: m.Name(), Pkg: e.pkg(m.Pkg()), Sig: e.typ(m.Type())})
+			}
+		}
+	case *types.TypeParam:
+		x.Kind = kTypeParam
+		x.Name = t.Obj().Name()
+		x.Pkg = e.pkg(t.Obj().Pkg())
+		x.Constraint = e.typ(t.Constraint())
+	case *types.Pointer:
+		x = expType{Kind: kPointer, Elem: e.typ(t.Elem())}
+	case *types.Slice:
+		x = expType{Kind: kSlice, Elem: e.typ(t.Elem())}
+	case *types.Array:
+		x = expType{Kind: kArray, Elem: e.typ(t.Elem()), Len: t.Len()}
+	case *types.Map:
+		x = expType{Kind: kMap, Key: e.typ(t.Key()), Elem: e.typ(t.Elem())}
+	case *types.Chan:
+		x = expType{Kind: kChan, Dir: int(t.Dir()), Elem: e.typ(t.Elem())}
+	case *types.Struct:
+		x.Kind = kStruct
+		for j := 0; j < t.NumFields(); j++ {
+			f := t.Field(j)
+			x.Fields = append(x.Fields, expField{
+				Name: f.Name(), Pkg: e.pkg(f.Pkg()), Type: e.typ(f.Type()),
+				Embedded: f.Embedded(), Tag: t.Tag(j),
+			})
+		}
+	case *types.Interface:
+		x.Kind = kInterface
+		for j := 0; j < t.NumExplicitMethods(); j++ {
+			m := t.ExplicitMethod(j)
+			x.Methods = append(x.Methods, expMethod{Name: m.Name(), Pkg: e.pkg(m.Pkg()), Sig: e.sigBare(m.Type().(*types.Signature))})
+		}
+		for j := 0; j < t.NumEmbeddeds(); j++ {
+			x.Embeds = append(x.Embeds, e.typ(t.EmbeddedType(j)))
+		}
+	case *types.Signature:
+		x.Kind = kSignature
+		x.Variadic = t.Variadic()
+		if r := t.Recv(); r != nil {
+			x.RecvType = e.typ(r.Type())
+		}
+		for j := 0; j < t.RecvTypeParams().Len(); j++ {
+			x.RTParams = append(x.RTParams, e.typ(t.RecvTypeParams().At(j)))
+		}
+		for j := 0; j < t.TypeParams().Len(); j++ {
+			x.TParams = append(x.TParams, e.typ(t.TypeParams().At(j)))
+		}
+		x.Params = e.tuple(t.Params())
+		x.Results = e.tuple(t.Results())
+	case *types.Union:
+		x.Kind = kUnion
+		for j := 0; j < t.Len(); j++ {
+			term := t.Term(j)
+			x.Terms = append(x.Terms, expTerm{Tilde: term.Tilde(), Type: e.typ(term.Type())})
+		}
+	case *types.Tuple:
+		// Tuples only appear inside signatures, which encode them inline.
+		x.Kind = kStruct
+	default:
+		x.Kind = kBasic
+		x.Basic = int(types.Invalid)
+	}
+	e.typs[i] = x
+	return i + 1
+}
+
+// sigBare encodes a signature with its receiver stripped. Interface
+// method receivers point back at the — possibly anonymous — interface,
+// and an anonymous interface has no placeholder to break that cycle with
+// at decode time; the decoder reinstalls receivers via NewInterfaceType.
+func (e *expEncoder) sigBare(sig *types.Signature) int {
+	if i, ok := e.typIndex[sig]; ok {
+		return i + 1
+	}
+	i := len(e.typs)
+	e.typIndex[sig] = i
+	e.typs = append(e.typs, expType{})
+	x := expType{
+		Kind:     kSignature,
+		Variadic: sig.Variadic(),
+		Params:   e.tuple(sig.Params()),
+		Results:  e.tuple(sig.Results()),
+	}
+	e.typs[i] = x
+	return i + 1
+}
+
+// tuple flattens a parameter/result tuple.
+func (e *expEncoder) tuple(t *types.Tuple) []expField {
+	var fs []expField
+	for j := 0; j < t.Len(); j++ {
+		v := t.At(j)
+		fs = append(fs, expField{Name: v.Name(), Pkg: e.pkg(v.Pkg()), Type: e.typ(v.Type())})
+	}
+	return fs
+}
+
+// encodeValue serializes one constant value exactly.
+func encodeValue(v constant.Value) expValue {
+	if v == nil {
+		return expValue{Kind: 'u'}
+	}
+	switch v.Kind() {
+	case constant.Bool:
+		return expValue{Kind: 'b', B: constant.BoolVal(v)}
+	case constant.String:
+		return expValue{Kind: 's', S: constant.StringVal(v)}
+	case constant.Int:
+		return expValue{Kind: 'i', Num: v.ExactString()}
+	case constant.Float:
+		return expValue{Kind: 'f', Num: v.ExactString()}
+	case constant.Complex:
+		return expValue{
+			Kind: 'c',
+			Num:  constant.Real(v).ExactString(),
+			INum: constant.Imag(v).ExactString(),
+		}
+	}
+	return expValue{Kind: 'u'}
+}
+
+// expDecoder rebuilds the package set from a bundle.
+type expDecoder struct {
+	b    *expBundle
+	pkgs []*types.Package
+	typs []types.Type
+	ctx  *types.Context
+}
+
+// importPackages decodes a bundle into a path-keyed package map. A
+// corrupt or incompatible bundle returns an error rather than a partial
+// universe; panics from malformed data are converted to errors so a bad
+// cache file degrades to a miss, never a crash.
+func importPackages(data []byte) (m map[string]*types.Package, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("edexport: corrupt bundle: %v", r)
+		}
+	}()
+	var b expBundle
+	if derr := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); derr != nil {
+		return nil, derr
+	}
+	if b.Format != expFormat {
+		return nil, fmt.Errorf("edexport: format %d, want %d", b.Format, expFormat)
+	}
+	if b.Go != runtime.Version() || b.OS != runtime.GOOS || b.Arch != runtime.GOARCH {
+		return nil, fmt.Errorf("edexport: bundle for %s/%s/%s, running %s/%s/%s",
+			b.Go, b.OS, b.Arch, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	}
+	d := &expDecoder{
+		b:    &b,
+		typs: make([]types.Type, len(b.Types)),
+		ctx:  types.NewContext(),
+	}
+	for _, xp := range b.Pkgs {
+		if xp.Path == "unsafe" {
+			d.pkgs = append(d.pkgs, types.Unsafe)
+			continue
+		}
+		d.pkgs = append(d.pkgs, types.NewPackage(xp.Path, xp.Name))
+	}
+	m = make(map[string]*types.Package, len(b.Pkgs))
+	for pi, xp := range b.Pkgs {
+		pkg := d.pkgs[pi]
+		m[xp.Path] = pkg
+		if pkg == types.Unsafe {
+			continue
+		}
+		scope := pkg.Scope()
+		for _, o := range xp.Objects {
+			switch o.Kind {
+			case 'T':
+				named, ok := d.typ(o.Type).(*types.Named)
+				if !ok {
+					return nil, fmt.Errorf("edexport: type name %s.%s is not a named type", xp.Path, o.Name)
+				}
+				scope.Insert(named.Obj())
+			case 'A':
+				scope.Insert(types.NewTypeName(token.NoPos, pkg, o.Name, d.typ(o.Type)))
+			case 'F':
+				scope.Insert(types.NewFunc(token.NoPos, pkg, o.Name, d.typ(o.Type).(*types.Signature)))
+			case 'V':
+				scope.Insert(types.NewVar(token.NoPos, pkg, o.Name, d.typ(o.Type)))
+			case 'C':
+				val, verr := decodeValue(o.Val)
+				if verr != nil {
+					return nil, verr
+				}
+				scope.Insert(types.NewConst(token.NoPos, pkg, o.Name, d.typ(o.Type), val))
+			}
+		}
+	}
+	for pi, xp := range b.Pkgs {
+		pkg := d.pkgs[pi]
+		if pkg == types.Unsafe {
+			continue
+		}
+		imps := make([]*types.Package, 0, len(xp.Imports))
+		for _, ii := range xp.Imports {
+			imps = append(imps, d.pkgs[ii])
+		}
+		pkg.SetImports(imps)
+		pkg.MarkComplete()
+	}
+	return m, nil
+}
+
+// pkg resolves a package index.
+func (d *expDecoder) pkg(i int) *types.Package {
+	p := d.pkgs[i]
+	if p == types.Unsafe {
+		return types.Unsafe
+	}
+	return p
+}
+
+// typ resolves a 1-based type reference, materializing on first use.
+// Named and TypeParam entries publish their placeholder before resolving
+// components, mirroring the encoder's cycle handling.
+func (d *expDecoder) typ(ref int) types.Type {
+	if ref == 0 {
+		return nil
+	}
+	i := ref - 1
+	if t := d.typs[i]; t != nil {
+		return t
+	}
+	x := d.b.Types[i]
+	switch x.Kind {
+	case kBasic:
+		t := types.Typ[types.BasicKind(x.Basic)]
+		d.typs[i] = t
+		return t
+	case kUniverse:
+		obj := types.Universe.Lookup(x.Name)
+		if obj == nil {
+			//edlint:ignore libpanic importPackages recovers decoder panics into a cache-miss error; threading an error through the recursive resolver would bury the hot path in plumbing
+			panic(fmt.Sprintf("unknown universe type %q", x.Name))
+		}
+		t := obj.Type()
+		d.typs[i] = t
+		return t
+	case kNamed:
+		obj := types.NewTypeName(token.NoPos, d.pkg(x.Pkg), x.Name, nil)
+		named := types.NewNamed(obj, nil, nil)
+		d.typs[i] = named
+		if len(x.TParams) > 0 {
+			// Type parameters must be bound before the underlying type or
+			// any instantiation references them.
+			tps := make([]*types.TypeParam, len(x.TParams))
+			for j, r := range x.TParams {
+				tps[j] = d.typ(r).(*types.TypeParam)
+			}
+			named.SetTypeParams(tps)
+		}
+		named.SetUnderlying(d.typ(x.Elem))
+		for _, m := range x.Methods {
+			named.AddMethod(types.NewFunc(token.NoPos, d.pkg(m.Pkg), m.Name, d.typ(m.Sig).(*types.Signature)))
+		}
+		return named
+	case kInstance:
+		origin := d.typ(x.Origin)
+		args := make([]types.Type, len(x.TArgs))
+		for j, r := range x.TArgs {
+			args[j] = d.typ(r)
+		}
+		t, err := types.Instantiate(d.ctx, origin, args, false)
+		if err != nil {
+			//edlint:ignore libpanic importPackages recovers decoder panics into a cache-miss error; threading an error through the recursive resolver would bury the hot path in plumbing
+			panic(fmt.Sprintf("instantiating %s: %v", origin, err))
+		}
+		d.typs[i] = t
+		return t
+	case kTypeParam:
+		tn := types.NewTypeName(token.NoPos, d.pkg(x.Pkg), x.Name, nil)
+		tp := types.NewTypeParam(tn, nil)
+		d.typs[i] = tp
+		tp.SetConstraint(d.typ(x.Constraint))
+		return tp
+	case kPointer:
+		t := types.NewPointer(d.typ(x.Elem))
+		d.typs[i] = t
+		return t
+	case kSlice:
+		t := types.NewSlice(d.typ(x.Elem))
+		d.typs[i] = t
+		return t
+	case kArray:
+		t := types.NewArray(d.typ(x.Elem), x.Len)
+		d.typs[i] = t
+		return t
+	case kMap:
+		t := types.NewMap(d.typ(x.Key), d.typ(x.Elem))
+		d.typs[i] = t
+		return t
+	case kChan:
+		t := types.NewChan(types.ChanDir(x.Dir), d.typ(x.Elem))
+		d.typs[i] = t
+		return t
+	case kStruct:
+		fields := make([]*types.Var, len(x.Fields))
+		tags := make([]string, len(x.Fields))
+		for j, f := range x.Fields {
+			fields[j] = types.NewField(token.NoPos, d.pkg(f.Pkg), f.Name, d.typ(f.Type), f.Embedded)
+			tags[j] = f.Tag
+		}
+		t := types.NewStruct(fields, tags)
+		d.typs[i] = t
+		return t
+	case kInterface:
+		methods := make([]*types.Func, len(x.Methods))
+		for j, m := range x.Methods {
+			// Interface method signatures are rebuilt receiver-less:
+			// NewInterfaceType installs the interface as the receiver.
+			sig := d.typ(m.Sig).(*types.Signature)
+			bare := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+			methods[j] = types.NewFunc(token.NoPos, d.pkg(m.Pkg), m.Name, bare)
+		}
+		embeds := make([]types.Type, len(x.Embeds))
+		for j, r := range x.Embeds {
+			embeds[j] = d.typ(r)
+		}
+		t := types.NewInterfaceType(methods, embeds)
+		t.Complete()
+		d.typs[i] = t
+		return t
+	case kSignature:
+		var recv *types.Var
+		if x.RecvType != 0 {
+			recv = types.NewVar(token.NoPos, nil, "", d.typ(x.RecvType))
+		}
+		rtps := make([]*types.TypeParam, len(x.RTParams))
+		for j, r := range x.RTParams {
+			rtps[j] = d.typ(r).(*types.TypeParam)
+		}
+		tps := make([]*types.TypeParam, len(x.TParams))
+		for j, r := range x.TParams {
+			tps[j] = d.typ(r).(*types.TypeParam)
+		}
+		t := types.NewSignatureType(recv, rtps, tps, d.tuple(x.Params), d.tuple(x.Results), x.Variadic)
+		d.typs[i] = t
+		return t
+	case kUnion:
+		terms := make([]*types.Term, len(x.Terms))
+		for j, tm := range x.Terms {
+			terms[j] = types.NewTerm(tm.Tilde, d.typ(tm.Type))
+		}
+		t := types.NewUnion(terms)
+		d.typs[i] = t
+		return t
+	}
+	//edlint:ignore libpanic importPackages recovers decoder panics into a cache-miss error; threading an error through the recursive resolver would bury the hot path in plumbing
+	panic(fmt.Sprintf("unknown type kind %d", x.Kind))
+}
+
+// tuple rebuilds a parameter/result tuple.
+func (d *expDecoder) tuple(fs []expField) *types.Tuple {
+	vars := make([]*types.Var, len(fs))
+	for j, f := range fs {
+		vars[j] = types.NewVar(token.NoPos, d.pkg(f.Pkg), f.Name, d.typ(f.Type))
+	}
+	return types.NewTuple(vars...)
+}
+
+// decodeValue rebuilds one constant value from its exact encoding.
+func decodeValue(v expValue) (constant.Value, error) {
+	rat := func(s string) (constant.Value, error) {
+		r, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return nil, fmt.Errorf("edexport: bad rational %q", s)
+		}
+		return constant.Make(r), nil
+	}
+	switch v.Kind {
+	case 'b':
+		return constant.MakeBool(v.B), nil
+	case 's':
+		return constant.MakeString(v.S), nil
+	case 'i':
+		n, ok := new(big.Int).SetString(v.Num, 10)
+		if !ok {
+			return nil, fmt.Errorf("edexport: bad integer %q", v.Num)
+		}
+		return constant.Make(n), nil
+	case 'f':
+		return rat(v.Num)
+	case 'c':
+		re, err := rat(v.Num)
+		if err != nil {
+			return nil, err
+		}
+		im, err := rat(v.INum)
+		if err != nil {
+			return nil, err
+		}
+		return constant.BinaryOp(re, token.ADD, constant.MakeImag(im)), nil
+	}
+	return constant.MakeUnknown(), nil
+}

@@ -48,44 +48,102 @@ func TestGolden(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", tc.name)
-			mod, _, err := LoadDir(dir, tc.path)
-			if err != nil {
-				t.Fatalf("LoadDir(%s): %v", dir, err)
-			}
-			diags := Run(mod, tc.analyzers, nil)
-			var b strings.Builder
-			for _, d := range diags {
-				// Golden files must be machine-independent, so strip the
-				// absolute directory from each position.
-				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
-					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			}
-			got := b.String()
-			golden := filepath.Join("testdata", tc.name+".golden")
-			if *update {
-				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-					t.Fatalf("writing %s: %v", golden, err)
-				}
-				return
-			}
-			want, err := os.ReadFile(golden)
-			if err != nil {
-				t.Fatalf("reading %s (run with -update to create it): %v", golden, err)
-			}
-			if got != string(want) {
-				t.Errorf("diagnostics for %s diverge from %s\n--- got ---\n%s--- want ---\n%s",
-					tc.name, golden, got, want)
-			}
-			// Single-analyzer fixtures must keep at least one true positive
-			// for that analyzer; full-suite fixtures (the suppression ones)
-			// have no single expected name to assert on.
-			if len(tc.analyzers) == 1 {
-				if want := tc.analyzers[0].Name; !strings.Contains(got, want+":") {
-					t.Errorf("fixture %s produced no %s finding; every fixture must keep at least one true positive",
-						tc.name, want)
-				}
-			}
+			testGoldenCase(t, tc.name, tc.path, tc.analyzers)
 		})
+	}
+}
+
+func testGoldenCase(t *testing.T, name, path string, analyzers []*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	mod, _, err := LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	got := formatDiags(Run(mod, analyzers, nil))
+	compareGolden(t, name, got)
+	// Single-analyzer fixtures must keep at least one true positive
+	// for that analyzer; full-suite fixtures (the suppression ones)
+	// have no single expected name to assert on.
+	if len(analyzers) == 1 {
+		if want := analyzers[0].Name; !strings.Contains(got, want+":") {
+			t.Errorf("fixture %s produced no %s finding; every fixture must keep at least one true positive",
+				name, want)
+		}
+	}
+}
+
+// formatDiags renders diagnostics machine-independently: golden files
+// must not embed the absolute checkout directory, so positions keep only
+// the file's base name.
+func formatDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// compareGolden checks got against testdata/<name>.golden, rewriting the
+// file under -update.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", golden, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create it): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics for %s diverge from %s\n--- got ---\n%s--- want ---\n%s",
+			name, golden, got, want)
+	}
+}
+
+// TestGoldenInterproc loads the multi-package fixture module under
+// testdata/src/interproc with LoadModule — cross-package summaries need
+// the whole module, not a single directory — and runs the four dataflow
+// analyzers over it. Beyond the byte-exact golden it asserts the v3
+// contract directly: each analyzer reports at least one laundered true
+// positive whose message carries a cross-function "←" trace, and none of
+// the sanitized helpers (callee sorts before returning, seeded draw
+// suppressed at the source, goroutine capturing the caller's ctx, send
+// racing ctx.Done in a select) leaks a false positive.
+func TestGoldenInterproc(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "interproc"))
+	if err != nil {
+		t.Fatalf("LoadModule(interproc): %v", err)
+	}
+	analyzers := []*Analyzer{MapOrder, WallClock, CtxFlow, SendGuard}
+	got := formatDiags(Run(mod, analyzers, nil))
+	compareGolden(t, "interproc", got)
+
+	for _, a := range analyzers {
+		found := false
+		for _, line := range strings.Split(got, "\n") {
+			if strings.Contains(line, " "+a.Name+": ") && strings.Contains(line, "←") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no interprocedural %s finding with a cross-function trace in the interproc fixture", a.Name)
+		}
+	}
+	for _, fp := range []string{
+		"SortedRows", "WriteSorted", "WriteResorted", // callee/caller sorts
+		"SeededLabel", "SeededTag", // draw sanctioned at the source
+		"SanitizedSpawn", "SpawnCtx", // goroutine captures the ctx
+		"SanitizedSend", "PushSafe", // send races ctx.Done in a select
+	} {
+		if strings.Contains(got, fp) {
+			t.Errorf("sanitized helper %s appears in a finding; the summary pass must not flag it:\n%s", fp, got)
+		}
 	}
 }

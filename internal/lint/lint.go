@@ -79,6 +79,11 @@ type Pass struct {
 	Path string
 	// IsTestUnit reports whether the unit contains _test.go files.
 	IsTestUnit bool
+	// Sums is the module-wide interprocedural summary table (edlint v3).
+	// It is shared by every pass of one run; analyzers use it to resolve
+	// effects laundered through helpers. May be nil in reduced harnesses;
+	// lookups on a nil table resolve to nothing.
+	Sums *SummaryTable
 
 	diags *[]Diagnostic
 }
@@ -111,6 +116,10 @@ func Run(mod *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagn
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// The summary table is module-wide by construction: it must see every
+	// function body even when the filter narrows the reported packages,
+	// or a cross-package trace would dead-end at the filter boundary.
+	sums := Summarize(mod)
 	var all []Diagnostic
 	for _, pkg := range mod.Pkgs {
 		if filter != nil && !filter(pkg) {
@@ -126,6 +135,7 @@ func Run(mod *Module, analyzers []*Analyzer, filter func(*Package) bool) []Diagn
 				Info:       pkg.Info,
 				Path:       pkg.Path,
 				IsTestUnit: pkg.IsTest,
+				Sums:       sums,
 				diags:      &diags,
 			}
 			a.Run(pass)

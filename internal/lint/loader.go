@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one analysis unit: a type-checked package plus the parsed
@@ -47,6 +50,34 @@ type Module struct {
 	Pkgs []*Package
 }
 
+// LoadOptions tunes LoadModuleWith. The zero value reproduces the
+// historical sequential, cacheless load exactly (modulo wall-clock).
+type LoadOptions struct {
+	// StdProvider, when non-nil, is offered the sorted list of the
+	// module's direct non-module imports and may return a pre-built
+	// standard-library universe covering all of them. The universe is
+	// all-or-nothing: it must be a closed package set (every import of
+	// every returned package resolves inside the map), because go/types
+	// compares named types by object identity and a universe mixed from
+	// cached and freshly source-checked packages would make stdlib types
+	// unequal to themselves. Returning nil falls back to type-checking
+	// the standard library from source.
+	StdProvider func(directs []string) map[string]*types.Package
+	// Workers bounds type-checking concurrency; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// LoadStats reports how a LoadModuleWith call resolved its inputs.
+type LoadStats struct {
+	// StdCacheHit reports whether a StdProvider universe was used.
+	StdCacheHit bool
+	// StdUsed maps every directly imported non-module path to its
+	// package, whatever resolved it — input for the cache layer's save.
+	StdUsed map[string]*types.Package
+	// Workers is the effective concurrency bound.
+	Workers int
+}
+
 // dirEntry is one source directory of the module, split into the file
 // groups Go's build model distinguishes.
 type dirEntry struct {
@@ -59,13 +90,56 @@ type dirEntry struct {
 }
 
 // loader resolves and type-checks packages on demand, memoizing results.
+// After scan() the dirs map is read-only; plain/loading are guarded by mu
+// so phase-2 units can import concurrently.
 type loader struct {
 	fset    *token.FileSet
 	dirs    map[string]*dirEntry // import path → entry
+	mu      sync.Mutex
 	plain   map[string]*types.Package
 	loading map[string]bool
-	std     types.Importer
-	errs    []error
+	std     *stdImporter
+}
+
+// stdImporter resolves non-module imports: from a pre-built universe when
+// one was provided, from the go/importer source importer otherwise. The
+// source importer is not safe for concurrent use, so every resolution
+// holds the mutex; with a warm universe the lock is held only for a map
+// read. Direct imports are recorded for the cache layer's save path.
+type stdImporter struct {
+	mu     sync.Mutex
+	cached map[string]*types.Package
+	src    types.Importer
+	used   map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		src:  importer.ForCompiler(fset, "source", nil),
+		used: make(map[string]*types.Package),
+	}
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.cached[path]; ok {
+		s.used[path] = p
+		return p, nil
+	}
+	if s.cached != nil {
+		// The provider's coverage preflight should make this unreachable;
+		// failing loudly beats silently mixing universes.
+		return nil, fmt.Errorf("package %s missing from the cached standard-library universe", path)
+	}
+	p, err := s.src.Import(path)
+	if err == nil {
+		s.used[path] = p
+	}
+	return p, err
 }
 
 // LoadModule parses and type-checks every package of the module rooted at
@@ -75,13 +149,26 @@ type loader struct {
 // dependency is needed. Type-check errors anywhere in the module fail the
 // load: analyzers only ever see well-typed code.
 func LoadModule(root string) (*Module, error) {
+	mod, _, err := LoadModuleWith(root, LoadOptions{})
+	return mod, err
+}
+
+// LoadModuleWith is LoadModule with a pluggable standard-library universe
+// and bounded parallel type-checking across the module's import DAG. The
+// load runs in two phases: plain (importable) packages are checked level
+// by level along the dependency order, then every analysis unit — which
+// only ever imports already-memoized plain packages — is checked
+// concurrently. Results are deterministic regardless of worker count:
+// unit order is path order, and on failure the error of the first unit in
+// that order wins.
+func LoadModuleWith(root string, opts LoadOptions) (*Module, *LoadStats, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	ld := &loader{
@@ -89,59 +176,100 @@ func LoadModule(root string) (*Module, error) {
 		dirs:    make(map[string]*dirEntry),
 		plain:   make(map[string]*types.Package),
 		loading: make(map[string]bool),
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     newStdImporter(fset),
 	}
 	if err := ld.scan(root, modPath); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(ld.dirs) == 0 {
-		return nil, fmt.Errorf("lint: module %s at %s contains no Go files", modPath, root)
+		return nil, nil, fmt.Errorf("lint: module %s at %s contains no Go files", modPath, root)
 	}
 
+	stats := &LoadStats{Workers: opts.Workers}
+	if stats.Workers <= 0 {
+		stats.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.StdProvider != nil {
+		if universe := opts.StdProvider(ld.externalImports()); universe != nil {
+			ld.std.cached = universe
+			stats.StdCacheHit = true
+		}
+	}
+
+	// The scheduler needs the plain-package import DAG up front: the
+	// level plan comes from it, and a cycle would otherwise deadlock-shape
+	// into a false "still loading" answer under concurrency instead of
+	// the clear report the sequential walk used to give.
+	deps := ld.plainDeps()
+	if cyc := importCycle(deps); cyc != nil {
+		return nil, nil, fmt.Errorf("lint: import cycle: %s", strings.Join(cyc, " → "))
+	}
+
+	// Phase 1: memoize every plain package any unit will import, level by
+	// level so that a package's dependencies are always already built when
+	// its own check starts. Within a level, packages are independent.
+	for _, level := range topoLevels(ld.neededPlain(deps), deps) {
+		level := level
+		err := runPool(stats.Workers, len(level), func(i int) error {
+			if _, err := ld.Import(level[i]); err != nil {
+				return fmt.Errorf("lint: %s: %w", level[i], err)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Phase 2: check every analysis unit. Units never depend on each
+	// other — they import only plain packages — so they all run at once.
 	paths := make([]string, 0, len(ld.dirs))
 	for p := range ld.dirs {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 
-	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	type unitSpec struct {
+		path   string
+		dir    string
+		files  []*ast.File
+		isTest bool
+	}
+	var specs []unitSpec
 	for _, path := range paths {
 		e := ld.dirs[path]
 		// Unit 1: the package itself, with in-package tests when present.
-		files := append(append([]*ast.File(nil), e.plain...), e.inTest...)
-		if len(files) > 0 {
-			info := newInfo()
-			tpkg, err := ld.check(path, files, info)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %s: %w", path, err)
-			}
-			mod.Pkgs = append(mod.Pkgs, &Package{
-				Path:   path,
-				Dir:    e.dir,
-				Files:  files,
-				Types:  tpkg,
-				Info:   info,
-				IsTest: len(e.inTest) > 0,
-			})
+		if files := append(append([]*ast.File(nil), e.plain...), e.inTest...); len(files) > 0 {
+			specs = append(specs, unitSpec{path, e.dir, files, len(e.inTest) > 0})
 		}
 		// Unit 2: the external test package, if any.
 		if len(e.extTest) > 0 {
-			info := newInfo()
-			tpkg, err := ld.check(path+"_test", e.extTest, info)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %s_test: %w", path, err)
-			}
-			mod.Pkgs = append(mod.Pkgs, &Package{
-				Path:   path + "_test",
-				Dir:    e.dir,
-				Files:  e.extTest,
-				Types:  tpkg,
-				Info:   info,
-				IsTest: true,
-			})
+			specs = append(specs, unitSpec{path + "_test", e.dir, e.extTest, true})
 		}
 	}
-	return mod, nil
+	units := make([]*Package, len(specs))
+	err = runPool(stats.Workers, len(specs), func(i int) error {
+		s := specs[i]
+		info := newInfo()
+		tpkg, err := ld.check(s.path, s.files, info)
+		if err != nil {
+			return fmt.Errorf("lint: %s: %w", s.path, err)
+		}
+		units[i] = &Package{
+			Path:   s.path,
+			Dir:    s.dir,
+			Files:  s.files,
+			Types:  tpkg,
+			Info:   info,
+			IsTest: s.isTest,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.StdUsed = ld.std.used
+	return &Module{Root: root, Path: modPath, Fset: fset, Pkgs: units}, stats, nil
 }
 
 // LoadDir parses and type-checks the single directory dir as a package
@@ -162,10 +290,11 @@ func LoadDir(dir, path string) (*Module, *Package, error) {
 		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	ld := &loader{
-		fset:  fset,
-		dirs:  map[string]*dirEntry{},
-		plain: map[string]*types.Package{},
-		std:   importer.ForCompiler(fset, "source", nil),
+		fset:    fset,
+		dirs:    map[string]*dirEntry{},
+		plain:   map[string]*types.Package{},
+		loading: map[string]bool{},
+		std:     newStdImporter(fset),
 	}
 	info := newInfo()
 	tpkg, err := ld.check(path, files, info)
@@ -252,28 +381,269 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
 	return files, pkgName, nil
 }
 
+// fileImports returns the distinct unquoted import paths of files.
+func fileImports(files ...[]*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, group := range files {
+		for _, f := range group {
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || seen[p] {
+					continue
+				}
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// externalImports returns the sorted direct imports that resolve outside
+// the module (the standard library, since edlint loads dependency-free
+// modules). "unsafe" is excluded: it is a compiler intrinsic, not a
+// package any universe needs to provide.
+func (ld *loader) externalImports() []string {
+	var out []string
+	for _, e := range ld.dirs {
+		for _, p := range fileImports(e.plain, e.inTest, e.extTest) {
+			if _, ok := ld.dirs[p]; !ok && p != "unsafe" {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return dedupSorted(out)
+}
+
+// plainDeps maps each module package to its module-internal imports from
+// plain (non-test) files only — the graph the importer actually follows.
+func (ld *loader) plainDeps() map[string][]string {
+	deps := make(map[string][]string, len(ld.dirs))
+	for path, e := range ld.dirs {
+		var ds []string
+		for _, p := range fileImports(e.plain) {
+			if _, ok := ld.dirs[p]; ok {
+				ds = append(ds, p)
+			}
+		}
+		deps[path] = ds
+	}
+	return deps
+}
+
+// neededPlain returns, transitively closed and sorted, every module
+// package some analysis unit imports — the set phase 1 must memoize.
+// Test files participate as importers here: an external test package's
+// self-import makes its package under test needed.
+func (ld *loader) neededPlain(deps map[string][]string) []string {
+	need := make(map[string]bool)
+	var add func(p string)
+	add = func(p string) {
+		if need[p] {
+			return
+		}
+		need[p] = true
+		for _, d := range deps[p] {
+			add(d)
+		}
+	}
+	dirPaths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		dirPaths = append(dirPaths, p)
+	}
+	sort.Strings(dirPaths)
+	for _, dp := range dirPaths {
+		e := ld.dirs[dp]
+		for _, p := range fileImports(e.plain, e.inTest, e.extTest) {
+			if _, ok := ld.dirs[p]; ok {
+				add(p)
+			}
+		}
+	}
+	out := make([]string, 0, len(need))
+	for p := range need {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importCycle returns one module-internal import cycle as a path of
+// import paths ending where it started, or nil when the graph is acyclic.
+func importCycle(deps map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(deps))
+	var stack []string
+	var visit func(p string) []string
+	visit = func(p string) []string {
+		color[p] = gray
+		stack = append(stack, p)
+		for _, d := range deps[p] {
+			switch color[d] {
+			case white:
+				if cyc := visit(d); cyc != nil {
+					return cyc
+				}
+			case gray:
+				for i, s := range stack {
+					if s == d {
+						return append(append([]string(nil), stack[i:]...), d)
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[p] = black
+		return nil
+	}
+	paths := make([]string, 0, len(deps))
+	for p := range deps {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if color[p] == white {
+			if cyc := visit(p); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// topoLevels layers the needed packages by dependency depth: level 0 has
+// no module-internal imports, level k imports only levels < k. Levels are
+// sorted, so the schedule is deterministic for any worker count.
+func topoLevels(needed []string, deps map[string][]string) [][]string {
+	inNeed := make(map[string]bool, len(needed))
+	for _, p := range needed {
+		inNeed[p] = true
+	}
+	depth := make(map[string]int, len(needed))
+	var rank func(p string) int
+	rank = func(p string) int {
+		if d, ok := depth[p]; ok {
+			return d
+		}
+		depth[p] = 0 // settled below; cycles were rejected before this runs
+		max := 0
+		for _, d := range deps[p] {
+			if inNeed[d] {
+				if r := rank(d) + 1; r > max {
+					max = r
+				}
+			}
+		}
+		depth[p] = max
+		return max
+	}
+	var levels [][]string
+	for _, p := range needed {
+		r := rank(p)
+		for len(levels) <= r {
+			levels = append(levels, nil)
+		}
+		levels[r] = append(levels[r], p)
+	}
+	for _, lvl := range levels {
+		sort.Strings(lvl)
+	}
+	return levels
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runPool runs fn(0..n-1) on at most workers goroutines and returns the
+// error of the smallest failing index, mirroring internal/pipeline's
+// forEach contract: results are deterministic for any worker count, and
+// every started task runs to completion before the pool returns.
+func runPool(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Import resolves an import path: module-internal packages are
 // type-checked from the scanned sources (memoized, cycle-checked), and
-// everything else is delegated to the standard-library source importer.
+// everything else is delegated to the standard-library importer. Safe for
+// concurrent use; LoadModuleWith's level schedule guarantees no two
+// goroutines ever build the same plain package.
 func (ld *loader) Import(path string) (*types.Package, error) {
 	e, ok := ld.dirs[path]
 	if !ok {
 		return ld.std.Import(path)
 	}
+	ld.mu.Lock()
 	if pkg, ok := ld.plain[path]; ok {
+		ld.mu.Unlock()
 		return pkg, nil
 	}
 	if ld.loading[path] {
+		ld.mu.Unlock()
 		return nil, fmt.Errorf("import cycle through %s", path)
 	}
 	ld.loading[path] = true
-	defer delete(ld.loading, path)
+	ld.mu.Unlock()
+
 	pkg, err := ld.check(path, e.plain, newInfo())
-	if err != nil {
-		return nil, err
+
+	ld.mu.Lock()
+	delete(ld.loading, path)
+	if err == nil {
+		ld.plain[path] = pkg
 	}
-	ld.plain[path] = pkg
-	return pkg, nil
+	ld.mu.Unlock()
+	return pkg, err
 }
 
 // check type-checks one file set as the package at path. On failure it

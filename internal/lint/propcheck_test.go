@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extradeep/internal/propcheck"
+)
+
+// The lint package's property suite drives the incremental cache with
+// randomized edit histories over a copy of the interproc fixture module
+// and checks the two invariants the cache must never lose:
+//
+//  1. Parity — warm findings are byte-identical to the cold reference
+//     after every mutation (the mutations are comment-only, so the
+//     reference never changes while every edit changes the content key).
+//  2. Key discipline — a run is a findings-cache hit exactly when the
+//     module's content state has been linted before: touching a file
+//     (same bytes, fresh mtime) keeps the hit, an unseen edit forces a
+//     miss, and reverting an edit restores the old key and its hit.
+
+// fixtureSourceFiles are the mutable .go files of the interproc fixture,
+// relative to the module root.
+var fixtureSourceFiles = []string{
+	"internal/helpers/helpers.go",
+	"internal/modeling/modeling.go",
+	"internal/pipeline/pipeline.go",
+	"report/report.go",
+}
+
+// cacheMutation is one step of an edit history.
+type cacheMutation struct {
+	op   int // 0 touch, 1 edit (append a unique comment), 2 revert
+	file int // index into fixtureSourceFiles
+}
+
+// cacheHistory is one generated case.
+type cacheHistory struct {
+	muts []cacheMutation
+}
+
+func cacheHistoryGen() propcheck.Gen[cacheHistory] {
+	opNames := []string{"touch", "edit", "revert"}
+	return propcheck.Gen[cacheHistory]{
+		Generate: func(r *propcheck.Rand) cacheHistory {
+			n := r.IntRange(1, 3)
+			muts := make([]cacheMutation, n)
+			for i := range muts {
+				muts[i] = cacheMutation{op: r.Intn(3), file: r.Intn(len(fixtureSourceFiles))}
+			}
+			return cacheHistory{muts: muts}
+		},
+		Shrink: func(h cacheHistory) []cacheHistory {
+			var out []cacheHistory
+			for i := range h.muts {
+				rest := append(append([]cacheMutation(nil), h.muts[:i]...), h.muts[i+1:]...)
+				out = append(out, cacheHistory{muts: rest})
+			}
+			return out
+		},
+		Describe: func(h cacheHistory) string {
+			parts := make([]string, len(h.muts))
+			for i, m := range h.muts {
+				parts[i] = fmt.Sprintf("%s(%s)", opNames[m.op], filepath.Base(fixtureSourceFiles[m.file]))
+			}
+			return "[" + strings.Join(parts, " ") + "]"
+		},
+	}
+}
+
+// TestPropLintCacheParity: for any short history of touch/edit/revert
+// mutations, every cached run reproduces the cold reference findings
+// byte-for-byte, and the findings-cache hit/miss state equals "this exact
+// content state was linted before". One std bundle is primed up front and
+// shared, so each miss re-checks only the five-package fixture module.
+func TestPropLintCacheParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints a module per mutation; skipped in -short")
+	}
+	cacheDir := t.TempDir()
+
+	// The cold reference, computed once: comment-only mutations never
+	// change findings, only content keys. The same run primes the bundle.
+	refRoot := copyFixtureModule(t)
+	refDiags, _, err := Lint(refRoot, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	reference := formatDiags(refDiags)
+	if reference == "" {
+		t.Fatal("fixture module produced no findings; the property needs a non-empty reference")
+	}
+
+	editSerial := 0
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 4}, cacheHistoryGen(), func(h cacheHistory) error {
+		root, err := os.MkdirTemp("", "edlint-prop-*")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = os.RemoveAll(root) }()
+		if err := copyTree(filepath.Join("testdata", "src", "interproc"), root); err != nil {
+			return err
+		}
+		pristine := make(map[string][]byte, len(fixtureSourceFiles))
+		for _, rel := range fixtureSourceFiles {
+			data, err := os.ReadFile(filepath.Join(root, rel))
+			if err != nil {
+				return err
+			}
+			pristine[rel] = data
+		}
+
+		seen := map[string]bool{}
+		runAndCheck := func(step string, wantHit bool) error {
+			diags, stats, err := Lint(root, Options{CacheDir: cacheDir})
+			if err != nil {
+				return fmt.Errorf("%s: %w", step, err)
+			}
+			want := "miss"
+			if wantHit {
+				want = "hit"
+			}
+			if stats.FindingsCache != want {
+				return fmt.Errorf("%s: findings cache %s, want %s", step, stats.FindingsCache, want)
+			}
+			if got := formatDiags(diags); got != reference {
+				return fmt.Errorf("%s: findings diverge from the cold reference\n--- got ---\n%s--- want ---\n%s",
+					step, got, reference)
+			}
+			return nil
+		}
+		state := func() (string, error) { return moduleStateFingerprint(root) }
+
+		fp, err := state()
+		if err != nil {
+			return err
+		}
+		if err := runAndCheck("initial run", seen[fp]); err != nil {
+			return err
+		}
+		seen[fp] = true
+
+		for i, m := range h.muts {
+			rel := fixtureSourceFiles[m.file]
+			abs := filepath.Join(root, rel)
+			switch m.op {
+			case 0: // touch: same bytes, fresh mtime
+				cur, err := os.ReadFile(abs)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(abs, cur, 0o644); err != nil {
+					return err
+				}
+			case 1: // edit: append a comment unique across the whole test
+				editSerial++
+				f, err := os.OpenFile(abs, os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(f, "\n// propcheck edit %d\n", editSerial); err != nil {
+					_ = f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			case 2: // revert to pristine content
+				if err := os.WriteFile(abs, pristine[rel], 0o644); err != nil {
+					return err
+				}
+			}
+			fp, err := state()
+			if err != nil {
+				return err
+			}
+			if err := runAndCheck(fmt.Sprintf("after mutation %d", i+1), seen[fp]); err != nil {
+				return err
+			}
+			seen[fp] = true
+		}
+		return nil
+	})
+}
+
+// moduleStateFingerprint hashes the mutable files' current content; two
+// equal fingerprints mean the loader sees identical modules. Roots are
+// excluded deliberately: the findings key includes the root path, so the
+// expectation tracker must too — each case uses one root throughout.
+func moduleStateFingerprint(root string) (string, error) {
+	h := sha256.New()
+	for _, rel := range fixtureSourceFiles {
+		data, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			return "", err
+		}
+		_, _ = fmt.Fprintf(h, "%s\x00%x\n", rel, sha256.Sum256(data))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// copyTree copies a directory tree (used by the property, which cannot
+// call t.TempDir-based helpers from inside a prop function).
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, p)
+		if rerr != nil {
+			return rerr
+		}
+		out := filepath.Join(dst, rel)
+		if fi.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+}

@@ -1,0 +1,24 @@
+// Package modeling is the wallclock-policed caller of the fixture: clock
+// and rand reads laundered through helpers must be reported here with the
+// full cross-function trace, while the sanctioned seeded helper stays
+// silent.
+package modeling
+
+import "fixture/internal/helpers"
+
+// Label is tainted by a clock read two helper frames down.
+func Label() string {
+	return helpers.StampLabel()
+}
+
+// Jitter is tainted by an unseeded math/rand draw one frame down.
+func Jitter() float64 {
+	j := helpers.Draw()
+	return j
+}
+
+// SeededTag calls the helper whose draw is sanctioned at the source; the
+// suppression clears this caller too, so no finding may appear here.
+func SeededTag() string {
+	return helpers.SeededLabel()
+}

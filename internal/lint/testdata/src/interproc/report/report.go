@@ -1,0 +1,34 @@
+// Package report is the maporder fixture caller: rows accumulated in map
+// iteration order inside helpers must be reported when they reach an
+// output sink here, and sorting — in either the caller or the callee —
+// clears the finding.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fixture/internal/helpers"
+)
+
+// Write emits rows whose order follows map iteration inside the helper
+// chain FormatRows ← bucketByNode.
+func Write(w io.Writer, m map[string]int) {
+	rows := helpers.FormatRows(m)
+	fmt.Fprintln(w, rows)
+}
+
+// WriteSorted uses the helper that sorts before returning; the callee
+// sanitizes and no finding may appear here.
+func WriteSorted(w io.Writer, m map[string]int) {
+	fmt.Fprintln(w, helpers.SortedRows(m))
+}
+
+// WriteResorted re-sorts in the caller before emitting; the caller
+// sanitizes and no finding may appear here.
+func WriteResorted(w io.Writer, m map[string]int) {
+	rows := helpers.FormatRows(m)
+	sort.Strings(rows)
+	fmt.Fprintln(w, rows)
+}

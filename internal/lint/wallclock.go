@@ -62,16 +62,20 @@ var WallClock = &Analyzer{
 	Run: runWallClock,
 }
 
-func runWallClock(pass *Pass) {
-	path := strings.TrimSuffix(pass.Path, "_test")
-	policed := false
+// wallclockPoliced reports whether the unit path (test suffix ignored)
+// lies in the deterministic core.
+func wallclockPoliced(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
 	for _, p := range wallclockPolicedPackages {
 		if strings.HasSuffix(path, p) {
-			policed = true
-			break
+			return true
 		}
 	}
-	if !policed {
+	return false
+}
+
+func runWallClock(pass *Pass) {
+	if !wallclockPoliced(pass.Path) {
 		return
 	}
 	for _, file := range pass.Files {
@@ -85,6 +89,20 @@ func runWallClock(pass *Pass) {
 				if src.kind != srcTime && src.kind != srcRand {
 					continue // map-order sources belong to maporder
 				}
+				if src.interproc {
+					// Interprocedural: the callee's summary carries the
+					// effect. When the callee lives in a policed package
+					// its own body already yields the finding (or a
+					// sanctioning suppression); reporting the caller too
+					// would double every fix.
+					if wallclockPoliced(src.calleePkg) {
+						continue
+					}
+					pass.Reportf(src.pos,
+						"call to %s reads %s through a helper outside the deterministic core (%s)%s; sanction the source with //edlint:ignore wallclock <reason> — which clears every caller — or move the read out of the call chain",
+						src.desc, src.kind, src.via(funcDisplay(pass, fd)), firstConsumption(uses, src))
+					continue
+				}
 				where := firstConsumption(uses, src)
 				pass.Reportf(src.pos,
 					"%s (%s) in the deterministic core%s; model inputs, selection and serialized output must not depend on it — move it to the Observer/timings layer or suppress with //edlint:ignore wallclock <reason>",
@@ -92,6 +110,14 @@ func runWallClock(pass *Pass) {
 			}
 		})
 	}
+}
+
+// funcDisplay renders the enclosing declaration for trace heads.
+func funcDisplay(pass *Pass, fd *ast.FuncDecl) string {
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		return displayName(fn)
+	}
+	return fd.Name.Name
 }
 
 // consumption is one place a nondeterministic value escapes a function's

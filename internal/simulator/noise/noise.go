@@ -5,6 +5,8 @@
 // noise whose spread follows that calibration: a per-run component shared
 // by all steps of one execution (queue placement, neighbours on the
 // fabric), a per-step jitter, and a per-kernel micro-jitter.
+
+//edlint:ignore-file wallclock the noise substrate is seeded by construction: every math/rand draw derives from the caller's explicit campaign seed, never from the clock, so runs replay byte-identically
 package noise
 
 import (
