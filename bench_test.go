@@ -8,14 +8,18 @@
 package extradeep_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"extradeep/internal/core"
 	"extradeep/internal/epoch"
 	"extradeep/internal/experiments"
 	"extradeep/internal/modeling"
+	"extradeep/internal/pipeline"
 	"extradeep/internal/profile"
+	"extradeep/internal/resilience"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
@@ -344,6 +348,90 @@ func BenchmarkPipelineOnly(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineResilience quantifies the resilience layer's cost on
+// the BenchmarkPipelineOnly campaign (BENCH_resilience.json tracks the
+// trajectory):
+//
+//	off        zero-valued config — the hooks reduce to context checks
+//	armed      injector armed (empty schedule) + stage deadline + retrier
+//	checkpoint armed plus incremental campaign checkpointing (fresh store)
+//	resume     armed plus resume over a fully warm store (no refitting)
+//
+// The off→armed gap is the pure hook overhead the resilience layer adds
+// to every run; the gate expectation is ≤ 2% of the ~30ms/op baseline.
+func BenchmarkPipelineResilience(b *testing.B) {
+	bench, err := engine.ByName("cifar10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.RunConfig{
+		System:      hardware.DEEP(),
+		Strategy:    parallel.DataParallel{FusionBuckets: 4},
+		WeakScaling: true,
+		Seed:        benchSeed,
+		SampleRanks: 4,
+	}
+	var allProfiles []*profile.Profile
+	for _, ranks := range []int{2, 4, 6, 8, 10} {
+		cfg.Ranks = ranks
+		for rep := 1; rep <= 5; rep++ {
+			ps, err := engine.Profile(bench, cfg, rep, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			allProfiles = append(allProfiles, ps...)
+		}
+	}
+	setup := engine.SetupFunc(bench, cfg.Strategy, true)
+	aggs, err := core.AggregateProfiles(allProfiles, core.DefaultOptions().Aggregation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	armed := func() pipeline.Config {
+		return pipeline.Config{
+			Injector:     resilience.NewInjector(nil),
+			StageTimeout: time.Hour,
+			Retry:        resilience.RetryPolicy{MaxAttempts: 3, Seed: benchSeed},
+		}
+	}
+	runOnce := func(b *testing.B, cfg pipeline.Config) {
+		b.Helper()
+		if _, err := pipeline.New(cfg).BuildModels(context.Background(), aggs, setup); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(b, pipeline.Config{})
+		}
+	})
+	b.Run("armed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(b, armed())
+		}
+	})
+	b.Run("checkpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := armed()
+			cfg.Checkpoint = &resilience.Store{Dir: b.TempDir()}
+			runOnce(b, cfg)
+		}
+	})
+	b.Run("resume", func(b *testing.B) {
+		store := &resilience.Store{Dir: b.TempDir()}
+		warm := armed()
+		warm.Checkpoint = store
+		runOnce(b, warm)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := armed()
+			cfg.Checkpoint = store
+			cfg.Resume = true
+			runOnce(b, cfg)
+		}
+	})
 }
 
 // BenchmarkParallelFit measures the fit stage's worker-pool scaling: the

@@ -8,23 +8,50 @@
 //	edbench -exp all
 //	edbench -exp casestudy,figure8 -seed 42
 //	edbench -exp all -plots out/
+//	edbench -exp all -checkpoint-dir .edbench -resume
 //
 // Available experiments: casestudy, figure3, figure4b, figure5, figure6,
 // figure7, figure8, table2, summary, all.
+//
+// A failing experiment no longer aborts the campaign: its error is
+// reported, the remaining experiments still run, and the process exits
+// with the partial-success code. With -checkpoint-dir every completed
+// experiment's rendered artifacts (text and SVGs) persist under a
+// content key of (experiment, seed), and -resume reuses them instead of
+// recomputing — an interrupted campaign continues where it stopped.
+//
+// Exit codes:
+//
+//	0 — every requested experiment succeeded
+//	1 — every requested experiment failed, or an I/O error
+//	2 — flag or usage errors (unknown experiment)
+//	4 — partial success: some experiments failed, the rest completed
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"extradeep/internal/experiments"
 	"extradeep/internal/pipeline"
 	"extradeep/internal/report"
+	"extradeep/internal/resilience"
+)
+
+// Process exit codes; see the command doc comment.
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+	exitPartial = 4
 )
 
 // chart is anything that can render itself as SVG.
@@ -41,10 +68,18 @@ type teeObserver struct {
 func (t teeObserver) StageStart(s pipeline.Stage)      { t.a.StageStart(s); t.b.StageStart(s) }
 func (t teeObserver) StageDone(st pipeline.StageStats) { t.a.StageDone(st); t.b.StageDone(st) }
 
-// outcome is one experiment's rendered artifacts.
+// outcome is one experiment's artifacts as produced by its runner.
 type outcome struct {
 	text   string
 	charts map[string]chart // file stem → chart
+}
+
+// renderedOutcome is one experiment's fully rendered artifacts — the
+// checkpoint unit: the text report plus every chart already rendered to
+// SVG, so a resumed campaign never recomputes anything for a cache hit.
+type renderedOutcome struct {
+	Text string            `json:"text"`
+	SVGs map[string]string `json:"svgs,omitempty"`
 }
 
 // renderer pairs an experiment name with its runner.
@@ -148,13 +183,64 @@ func runners() []renderer {
 	}
 }
 
+// experimentKey is the content key one experiment's artifacts are cached
+// under: the renderer name and the seed, so a different seed can never
+// reuse stale artifacts.
+func experimentKey(name string, seed int64) string {
+	return resilience.Key([]byte("edbench/v1"), []byte(name), []byte(strconv.FormatInt(seed, 10)))
+}
+
+// render turns a runner's outcome into the cacheable rendered form,
+// rendering every chart to SVG up front.
+func render(out outcome) (renderedOutcome, error) {
+	ro := renderedOutcome{Text: out.text}
+	for stem, c := range out.charts {
+		svg, err := c.SVG()
+		if err != nil {
+			return renderedOutcome{}, fmt.Errorf("rendering %s: %w", stem, err)
+		}
+		if ro.SVGs == nil {
+			ro.SVGs = make(map[string]string)
+		}
+		ro.SVGs[stem] = svg
+	}
+	return ro, nil
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments to run (or 'all')")
-	seed := flag.Int64("seed", 7, "base random seed for the simulated measurements")
-	plotsDir := flag.String("plots", "", "write the figures as SVG files into this directory")
-	htmlPath := flag.String("html", "", "write a self-contained HTML report to this file")
-	timings := flag.Bool("timings", false, "print per-stage observer lines to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sayf and sayln print best-effort to the chosen writer; a failed
+// diagnostic write has no sensible recovery in a CLI, so the error is
+// deliberately discarded.
+func sayf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func sayln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// run executes the command and returns its process exit code; tests drive
+// it directly with buffers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expFlag := fs.String("exp", "all", "comma-separated experiments to run (or 'all')")
+	seed := fs.Int64("seed", 7, "base random seed for the simulated measurements")
+	plotsDir := fs.String("plots", "", "write the figures as SVG files into this directory")
+	htmlPath := fs.String("html", "", "write a self-contained HTML report to this file")
+	timings := fs.Bool("timings", false, "print per-stage observer lines to stderr")
+	checkpointDir := fs.String("checkpoint-dir", "", "cache each experiment's rendered artifacts in this directory")
+	resume := fs.Bool("resume", false, "reuse cached artifacts from -checkpoint-dir for unchanged (experiment, seed) pairs")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *resume && *checkpointDir == "" {
+		sayln(stderr, "edbench: -resume requires -checkpoint-dir")
+		return exitUsage
+	}
 
 	wanted := make(map[string]bool)
 	all := *expFlag == "all"
@@ -177,16 +263,20 @@ func main() {
 				}
 			}
 			if !found && name != "all" {
-				fmt.Fprintf(os.Stderr, "edbench: unknown experiment %q\n", name)
-				os.Exit(2)
+				sayf(stderr, "edbench: unknown experiment %q\n", name)
+				return exitUsage
 			}
 		}
 	}
 	if *plotsDir != "" {
 		if err := os.MkdirAll(*plotsDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
-			os.Exit(1)
+			sayf(stderr, "edbench: %v\n", err)
+			return exitFailure
 		}
+	}
+	var store *resilience.Store
+	if *checkpointDir != "" {
+		store = &resilience.Store{Dir: *checkpointDir}
 	}
 
 	htmlReport := &report.Report{
@@ -198,61 +288,92 @@ func main() {
 	// mirrors the same events to stderr — the sequencing/timing contract
 	// is the pipeline's, not re-implemented here.
 	collector := &pipeline.Collector{}
+	ran, failed := 0, []string{}
 	for _, r := range known {
 		if !all && !wanted[r.name] {
 			continue
 		}
-		var out outcome
+		ran++
+		var ro renderedOutcome
 		obs := pipeline.Observer(collector)
 		if *timings {
-			obs = teeObserver{collector, &pipeline.LogObserver{W: os.Stderr}}
+			obs = teeObserver{collector, &pipeline.LogObserver{W: stderr}}
 		}
 		err := pipeline.Observe(obs, pipeline.Stage(r.name), func() (pipeline.Counters, error) {
-			var err error
-			out, err = r.run(*seed)
-			return nil, err
+			key := experimentKey(r.name, *seed)
+			if *resume {
+				if payload, ok := store.Get(key); ok {
+					var cached renderedOutcome
+					if json.Unmarshal(payload, &cached) == nil && cached.Text != "" {
+						ro = cached
+						return pipeline.Counters{"cached": 1}, nil
+					}
+					// Damaged or stale cache entry: recover to a miss.
+				}
+			}
+			out, err := r.run(*seed)
+			if err != nil {
+				return nil, err
+			}
+			if ro, err = render(out); err != nil {
+				return nil, err
+			}
+			if store != nil {
+				if payload, merr := json.Marshal(ro); merr == nil {
+					_ = store.Put(key, payload)
+				}
+			}
+			return nil, nil
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edbench: %s: %v\n", r.name, err)
-			os.Exit(1)
+			// Graceful degradation: name the failure, keep the campaign
+			// going, and report partial success at the end.
+			sayf(stderr, "edbench: %s: %v\n", r.name, err)
+			failed = append(failed, r.name)
+			continue
 		}
-		fmt.Println(out.text)
+		sayln(stdout, ro.Text)
 		elapsed := collector.Last().Duration
-		section := report.Section{Title: r.name, Text: out.text, Elapsed: elapsed}
-		stems := make([]string, 0, len(out.charts))
-		for stem := range out.charts {
+		section := report.Section{Title: r.name, Text: ro.Text, Elapsed: elapsed}
+		stems := make([]string, 0, len(ro.SVGs))
+		for stem := range ro.SVGs {
 			stems = append(stems, stem)
 		}
 		sort.Strings(stems)
 		for _, stem := range stems {
-			svg, err := out.charts[stem].SVG()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "edbench: rendering %s: %v\n", stem, err)
-				os.Exit(1)
-			}
+			svg := ro.SVGs[stem]
 			section.SVGs = append(section.SVGs, svg)
 			if *plotsDir != "" {
 				path := filepath.Join(*plotsDir, stem+".svg")
 				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
-					os.Exit(1)
+					sayf(stderr, "edbench: %v\n", err)
+					return exitFailure
 				}
-				fmt.Printf("[wrote %s]\n", path)
+				sayf(stdout, "[wrote %s]\n", path)
 			}
 		}
 		htmlReport.Add(section)
-		fmt.Printf("[%s completed in %v]\n\n", r.name, elapsed.Round(time.Millisecond))
+		sayf(stdout, "[%s completed in %v]\n\n", r.name, elapsed.Round(time.Millisecond))
 	}
 	if *htmlPath != "" {
 		html, err := htmlReport.HTML()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
-			os.Exit(1)
+			sayf(stderr, "edbench: %v\n", err)
+			return exitFailure
 		}
 		if err := os.WriteFile(*htmlPath, []byte(html), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "edbench: %v\n", err)
-			os.Exit(1)
+			sayf(stderr, "edbench: %v\n", err)
+			return exitFailure
 		}
-		fmt.Printf("[wrote %s]\n", *htmlPath)
+		sayf(stdout, "[wrote %s]\n", *htmlPath)
 	}
+	if len(failed) > 0 {
+		sayf(stderr, "edbench: %d of %d experiments failed: %s\n",
+			len(failed), ran, strings.Join(failed, ", "))
+		if len(failed) == ran {
+			return exitFailure
+		}
+		return exitPartial
+	}
+	return exitOK
 }

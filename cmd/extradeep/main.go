@@ -20,6 +20,15 @@
 // modeling. -strict restores the historical all-or-nothing behavior and
 // aborts on the first unreadable file.
 //
+// The run itself is resilient: stages execute under optional deadline
+// budgets (-stage-timeout) with seeded retry/backoff of transient
+// failures (-retries), per-kernel fit panics are quarantined so the run
+// completes partially instead of dying, and -checkpoint-dir persists
+// campaign state incrementally so an interrupted run rerun with -resume
+// reuses every completed fit byte-identically. The EDFAULT_SCHEDULE and
+// EDFAULT_SEED environment knobs inject deterministic faults at stage
+// and fit-task boundaries for testing (see internal/resilience).
+//
 // Exit codes:
 //
 //	0 — success, including success-with-warnings (files were quarantined
@@ -28,6 +37,10 @@
 //	2 — flag or usage errors (unknown format, benchmark, strategy, …)
 //	3 — no usable profile data: the degradation gate refused the
 //	    surviving set in lenient mode, or a file failed in -strict mode
+//	4 — partial success: the analysis completed and the report was
+//	    printed, but one or more per-kernel fits were quarantined
+//	    (panicked or failed with the degraded class); the report's
+//	    quarantine section names every skipped kernel
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 	"extradeep/internal/measurement"
 	"extradeep/internal/modeling"
 	"extradeep/internal/pipeline"
+	"extradeep/internal/resilience"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
@@ -57,6 +71,7 @@ const (
 	exitFailure = 1
 	exitUsage   = 2
 	exitNoData  = 3
+	exitPartial = 4
 )
 
 func main() {
@@ -105,6 +120,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strict := fs.Bool("strict", false, "abort on the first unreadable profile instead of quarantining it")
 	jobs := fs.Int("j", 0, "fit worker parallelism: 0 = all cores, 1 = sequential (output is identical either way)")
 	timings := fs.Bool("timings", false, "print per-stage timings and counters to stderr")
+	checkpointDir := fs.String("checkpoint-dir", "", "persist campaign checkpoint state incrementally into this directory")
+	resume := fs.Bool("resume", false, "reuse completed fit results from -checkpoint-dir (content-keyed, so changed inputs refit)")
+	stageTimeout := fs.Duration("stage-timeout", 0, "deadline budget per pipeline stage attempt (0 = none)")
+	retries := fs.Int("retries", 0, "attempts per stage for transient failures (0 = default of 3)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -125,6 +144,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *format != "json" && *format != "csv" {
 		return usage(fmt.Errorf("unknown profile format %q (have json, csv)", *format))
 	}
+	if *resume && *checkpointDir == "" {
+		return usage(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+
+	// Fault injection (EDFAULT_SCHEDULE / EDFAULT_SEED): a parsed
+	// schedule yields an injector whose faults fire at stage and fit-task
+	// boundaries; with neither knob set the injector is nil and the hooks
+	// are free. Seed-derived schedules draw over the stage points plus the
+	// first 32 fit tasks.
+	schedule, err := resilience.ScheduleFromEnv(pipeline.InjectionPoints(32))
+	if err != nil {
+		return usage(err)
+	}
+	var injector *resilience.Injector
+	if len(schedule) > 0 {
+		injector = resilience.NewInjector(nil, schedule...)
+		sayf(stderr, "extradeep: fault injection active: %s\n", resilience.FormatSchedule(schedule))
+	}
+
+	var store *resilience.Store
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return fail(err)
+		}
+		store = &resilience.Store{Dir: *checkpointDir}
+	}
 
 	// The staged analysis pipeline: Ingest → Aggregate → Epoch → Fit →
 	// Analyze → Report. -j bounds the fit worker pool; -timings exposes
@@ -134,12 +179,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		obs = &pipeline.LogObserver{W: stderr}
 	}
 	pl := pipeline.New(pipeline.Config{
-		Workers:     *jobs,
-		Aggregation: aggregate.DefaultOptions(),
-		Modeling:    modeling.DefaultOptions(),
-		Observer:    obs,
+		Workers:      *jobs,
+		Aggregation:  aggregate.DefaultOptions(),
+		Modeling:     modeling.DefaultOptions(),
+		Observer:     obs,
+		Injector:     injector,
+		Retry:        resilience.RetryPolicy{MaxAttempts: *retries},
+		StageTimeout: *stageTimeout,
+		Checkpoint:   store,
+		Resume:       *resume,
 	})
-	ctx := context.Background()
+	// Cancel-kind faults target the armed cancel exactly like a ^C at
+	// their scheduled point; without injection this is a plain context.
+	ctx, cancelRun := context.WithCancelCause(context.Background())
+	defer cancelRun(nil)
+	injector.Arm(cancelRun)
 
 	opts := ingest.Options{Policy: ingest.Lenient}
 	if *strict {
@@ -214,7 +268,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	say(stdout, pl.Render(ares))
+	text, err := pl.RenderContext(ctx, ares)
+	if err != nil {
+		return fail(err)
+	}
+	say(stdout, text)
+	if models.Degraded() {
+		quarantined := 0
+		for _, f := range models.Skipped {
+			if f.Class != pipeline.FailureUnmodelable {
+				quarantined++
+			}
+		}
+		sayf(stderr, "extradeep: %d kernel fits quarantined; the report is partial\n", quarantined)
+		return exitPartial
+	}
 	return exitOK
 }
 

@@ -175,6 +175,84 @@ func TestParallelFitOutputIsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestQuarantinedFitExitsPartial: an injected per-kernel fit panic (via
+// the EDFAULT_SCHEDULE knob) still produces the full report — with a
+// quarantine section naming the skipped kernel — and exits with the
+// partial-success code.
+func TestQuarantinedFitExitsPartial(t *testing.T) {
+	dir := writeCampaign(t)
+	t.Setenv("EDFAULT_SCHEDULE", "fit:task:0@0=panic;fit:task:2@0=degraded")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profiles", dir, "-benchmark", "imdb"}, &stdout, &stderr)
+	if code != exitPartial {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitPartial, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"most cost-effective configuration", // the analysis still completed
+		"quarantined kernels (run completed partially):",
+		"class=panic", "class=degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "quarantined") {
+		t.Errorf("stderr lacks quarantine notice:\n%s", stderr.String())
+	}
+}
+
+// TestKillMidFitResumeByteIdentical is the acceptance pin at the CLI
+// surface: a fault schedule kills the run mid-Fit with -checkpoint-dir
+// set; the rerun with -resume completes from the stored records and its
+// stdout is byte-identical to an uninterrupted run.
+func TestKillMidFitResumeByteIdentical(t *testing.T) {
+	dir := writeCampaign(t)
+	args := func(extra ...string) []string {
+		return append([]string{"-profiles", dir, "-benchmark", "imdb", "-predict", "40"}, extra...)
+	}
+
+	var cold bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run(args(), &cold, &stderr); code != exitOK {
+		t.Fatalf("cold run exit %d; stderr:\n%s", code, stderr.String())
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	t.Setenv("EDFAULT_SCHEDULE", "fit:task:4@0=error")
+	var killed bytes.Buffer
+	stderr.Reset()
+	// Sequential fit (-j 1) so tasks 0–3 checkpoint before the kill.
+	if code := run(args("-checkpoint-dir", ckpt, "-j", "1"), &killed, &stderr); code != exitFailure {
+		t.Fatalf("killed run exit %d, want %d; stderr:\n%s", code, exitFailure, stderr.String())
+	}
+
+	t.Setenv("EDFAULT_SCHEDULE", "")
+	var resumed bytes.Buffer
+	stderr.Reset()
+	if code := run(args("-checkpoint-dir", ckpt, "-resume"), &resumed, &stderr); code != exitOK {
+		t.Fatalf("resume exit %d; stderr:\n%s", code, stderr.String())
+	}
+	if !bytes.Equal(resumed.Bytes(), cold.Bytes()) {
+		t.Errorf("resumed stdout differs from cold run:\n--- cold ---\n%s\n--- resumed ---\n%s",
+			cold.String(), resumed.String())
+	}
+}
+
+// TestResumeRequiresCheckpointDir: -resume without -checkpoint-dir is a
+// usage error, and a malformed EDFAULT_SCHEDULE is too.
+func TestResumeRequiresCheckpointDir(t *testing.T) {
+	dir := writeCampaign(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-profiles", dir, "-benchmark", "imdb", "-resume"}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("-resume without dir: exit %d, want %d", code, exitUsage)
+	}
+	t.Setenv("EDFAULT_SCHEDULE", "not-a-schedule")
+	if code := run([]string{"-profiles", dir, "-benchmark", "imdb"}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("bad schedule: exit %d, want %d", code, exitUsage)
+	}
+}
+
 // TestTimingsFlagEmitsStageLines checks the observer surface: -timings
 // prints one line per pipeline stage to stderr, none to stdout.
 func TestTimingsFlagEmitsStageLines(t *testing.T) {

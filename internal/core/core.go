@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"extradeep/internal/aggregate"
 	"extradeep/internal/epoch"
@@ -23,8 +24,26 @@ import (
 	"extradeep/internal/modeling"
 	"extradeep/internal/pipeline"
 	"extradeep/internal/profile"
+	"extradeep/internal/resilience"
 	"extradeep/internal/simulator/engine"
 )
+
+// Resilience bundles the pipeline's fault-handling knobs for facade
+// callers: fault injection, per-stage deadline budgets, the retry
+// policy, and checkpoint/resume. The zero value disables all of it —
+// the production default. See pipeline.Config and DESIGN.md §13.
+type Resilience struct {
+	// Injector fires scheduled deterministic faults; nil disables.
+	Injector *resilience.Injector
+	// Retry is the per-stage backoff policy for retryable failures.
+	Retry resilience.RetryPolicy
+	// StageTimeout is the deadline budget per stage attempt; 0 disables.
+	StageTimeout time.Duration
+	// Checkpoint persists completed fit tasks incrementally; nil disables.
+	Checkpoint *resilience.Store
+	// Resume reuses content-keyed prior records from Checkpoint.
+	Resume bool
+}
 
 // Options bundles the pipeline configuration.
 type Options struct {
@@ -39,6 +58,9 @@ type Options struct {
 	// 1 runs sequentially, 0 uses all cores. Output is byte-identical for
 	// every value.
 	Workers int
+	// Resilience configures fault injection, retries, stage deadlines and
+	// checkpoint/resume; the zero value disables the whole layer.
+	Resilience Resilience
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -62,6 +84,11 @@ func (o Options) pipelineFor() *pipeline.Pipeline {
 		Aggregation:       o.Aggregation,
 		Modeling:          o.Modeling,
 		MinConfigurations: o.MinConfigurations,
+		Injector:          o.Resilience.Injector,
+		Retry:             o.Resilience.Retry,
+		StageTimeout:      o.Resilience.StageTimeout,
+		Checkpoint:        o.Resilience.Checkpoint,
+		Resume:            o.Resilience.Resume,
 	})
 }
 
@@ -188,6 +215,7 @@ func RunCampaign(c Campaign) (*CampaignResult, error) {
 	if opts.Modeling.PolyExponents == nil && opts.Modeling.MaxTerms == 0 {
 		opts = DefaultOptions()
 		opts.Workers = c.Options.Workers
+		opts.Resilience = c.Options.Resilience
 		if !c.Config.WeakScaling {
 			// Strong-scaling runtimes shrink with scale; the search space
 			// needs negative exponents to express that.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"testing"
 
 	"extradeep/internal/aggregate"
@@ -8,7 +9,9 @@ import (
 	"extradeep/internal/mathutil"
 	"extradeep/internal/measurement"
 	"extradeep/internal/modeling"
+	"extradeep/internal/pipeline"
 	"extradeep/internal/profile"
+	"extradeep/internal/resilience"
 	"extradeep/internal/simulator/engine"
 	"extradeep/internal/simulator/hardware"
 	"extradeep/internal/simulator/parallel"
@@ -236,5 +239,57 @@ func TestRunCampaignDeterministic(t *testing.T) {
 	f2 := r2.Models.App[epoch.AppPath].Function.String()
 	if f1 != f2 {
 		t.Errorf("non-deterministic campaign: %s vs %s", f1, f2)
+	}
+}
+
+// TestRunCampaignResilienceQuarantine drives the facade's resilience
+// wiring: a degraded-class fault injected at one fit task must quarantine
+// that kernel and mark the model set partial, not fail the campaign.
+func TestRunCampaignResilienceQuarantine(t *testing.T) {
+	c := testCampaign(t)
+	c.Options.Resilience.Injector = resilience.NewInjector(nil,
+		resilience.Fault{Point: "fit:task:0", Kind: resilience.KindError, Class: resilience.ClassDegraded})
+	res, err := RunCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Models.Degraded() {
+		t.Fatal("injected degraded fit fault did not mark the model set partial")
+	}
+	found := false
+	for _, f := range res.Models.Skipped {
+		if f.Class == pipeline.FailureDegraded {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no degraded-class entry in Skipped: %+v", res.Models.Skipped)
+	}
+}
+
+// TestRunCampaignCheckpointResume pins the facade's checkpoint/resume
+// path: a campaign checkpointed through Options.Resilience and resumed
+// over identical inputs reproduces the same application model.
+func TestRunCampaignCheckpointResume(t *testing.T) {
+	store := &resilience.Store{Dir: t.TempDir()}
+	c := testCampaign(t)
+	c.Options.Resilience.Checkpoint = store
+	cold, err := RunCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(store.Dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("checkpoint store empty after campaign (err=%v)", err)
+	}
+	c.Options.Resilience.Resume = true
+	resumed, err := RunCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Models.App[epoch.AppPath].Function.String()
+	got := resumed.Models.App[epoch.AppPath].Function.String()
+	if want != got {
+		t.Fatalf("resumed app model %q differs from cold run %q", got, want)
 	}
 }

@@ -10,6 +10,13 @@
 // All mutations are deterministic functions of the input bytes — no
 // randomness — so a corruption that quarantines in a test quarantines
 // forever.
+//
+// This harness covers at-rest damage: what the bytes on disk look like
+// after something went wrong. Its runtime counterpart is
+// internal/resilience's fault Injector, which applies the same
+// determinism discipline to the pipeline's execution — seeded,
+// schedule-replayable stage errors, panics, stalls, and cancellations
+// (see DESIGN.md §13).
 package faults
 
 import (

@@ -13,6 +13,10 @@ import (
 var ctxPolicedPackages = []string{
 	"internal/pipeline",
 	"internal/core",
+	// resilience owns the clock/timeout plumbing (FakeClock goroutine-free
+	// by design, WallClock timers) the pipeline's cancellation contract
+	// now runs through.
+	"internal/resilience",
 }
 
 // CtxFlow enforces context propagation in the concurrency core. In the

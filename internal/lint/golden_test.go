@@ -36,6 +36,10 @@ func TestGolden(t *testing.T) {
 		{"ctxflow", "fixture/internal/pipeline", []*Analyzer{CtxFlow}},
 		{"wallclock", "fixture/internal/modeling", []*Analyzer{WallClock}},
 		{"sendguard", "fixture/internal/pipeline", []*Analyzer{SendGuard}},
+		// resilience joined the wallclock-policed core with the fault
+		// injection layer: the retrier's sanctioned diagnostic timing is
+		// suppressed, everything else reports.
+		{"resilience", "fixture/internal/resilience", []*Analyzer{WallClock}},
 		// propcheck exercises file-scoped suppression boundaries: the
 		// engine file's //edlint:ignore-file wallclock directive silences
 		// its own draws but nothing in the sibling file.

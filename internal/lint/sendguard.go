@@ -13,6 +13,10 @@ import (
 var sendGuardPolicedPackages = []string{
 	"internal/pipeline",
 	"internal/core",
+	// resilience holds the injector/retrier/checkpoint mutexes and the
+	// timer channels behind Clock; the same acquire/release discipline
+	// applies.
+	"internal/resilience",
 }
 
 // SendGuard enforces the acquire-paired-with-deferred-release discipline

@@ -1,0 +1,46 @@
+// Package resilience is a fixture for the wallclock analyzer over the
+// resilience layer's import path. The layer's whole promise is seeded
+// replay — fault schedules, backoff jitter and checkpoint state must be
+// functions of their seeds and inputs alone — so clock reads and
+// math/rand draws report here exactly as in the modeling core, and only
+// the retrier's diagnostic timing read is sanctioned, with its reason.
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadJitteredBackoff computes a retry delay with a math/rand draw; the
+// bug the analyzer catches is that the schedule stops being replayable
+// from the policy seed.
+func BadJitteredBackoff(attempt int, base time.Duration) time.Duration {
+	d := base * time.Duration(1<<attempt)
+	return d + time.Duration(rand.Int63n(int64(base))) // want: rand reaches a return value
+}
+
+// Record is a stand-in for a checkpoint task record.
+type Record struct {
+	Key       string
+	WrittenAt int64
+}
+
+// BadStampedRecord stores the clock in checkpoint state — the write time
+// would make two otherwise identical campaign states differ byte-for-byte
+// and break resume's byte-identity guarantee.
+func BadStampedRecord(key string) *Record {
+	r := &Record{Key: key}
+	r.WrittenAt = time.Now().UnixNano() // want: clock stored in checkpoint state
+	return r
+}
+
+// SanctionedRetryTiming times one attempt for the retry diagnostic log
+// only; the suppression names the sanctioned consumer and is the one
+// clock access the resilience layer is allowed.
+func SanctionedRetryTiming(attempt func() error) (time.Duration, error) {
+	//edlint:ignore wallclock retrier diagnostics: attempt latency feeds the operator log, never the backoff schedule
+	start := time.Now()
+	err := attempt()
+	//edlint:ignore wallclock retrier diagnostics: see above
+	return time.Since(start), err
+}

@@ -84,10 +84,7 @@ func (p *Pipeline) Analyze(ctx context.Context, models *ModelSet, aggs []*aggreg
 	if res.TopKernels <= 0 {
 		res.TopKernels = 10
 	}
-	err := p.observe(StageAnalyze, func() (Counters, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := p.runStage(ctx, StageAnalyze, func(sctx context.Context) (Counters, error) {
 		if len(aggs) == 0 {
 			return nil, errors.New("pipeline: no aggregated configurations to analyze")
 		}

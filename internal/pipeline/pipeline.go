@@ -26,6 +26,7 @@ import (
 
 	"extradeep/internal/aggregate"
 	"extradeep/internal/modeling"
+	"extradeep/internal/resilience"
 )
 
 // Stage names one phase of the analysis pipeline. The constants below are
@@ -178,6 +179,32 @@ type Config struct {
 	MinConfigurations int
 	// Observer receives stage timing/counter events; nil discards them.
 	Observer Observer
+
+	// Injector fires scheduled runtime faults at stage and fit-task
+	// injection points; nil (the production default) reduces the hook to
+	// a context check.
+	Injector *resilience.Injector
+	// Retry is the per-stage retry/backoff policy for retryable-class
+	// failures; the zero value uses the resilience defaults (3 attempts).
+	// Only retryable errors — blown stage budgets and injected transient
+	// faults — are ever retried.
+	Retry resilience.RetryPolicy
+	// StageTimeout is the deadline budget applied to every stage attempt;
+	// 0 disables stage deadlines.
+	StageTimeout time.Duration
+	// Clock paces retries, deadlines and injected stalls; nil means the
+	// wall clock. Tests substitute a resilience.FakeClock for
+	// deterministic schedules.
+	Clock resilience.Clock
+	// Checkpoint enables incremental campaign checkpointing of the fit
+	// stage into this store; nil disables it.
+	Checkpoint *resilience.Store
+	// Resume reuses prior completed task records from Checkpoint. Reuse is
+	// content-keyed — any change to the inputs or modeling options
+	// invalidates the records — so a resumed run over identical inputs is
+	// byte-identical to an uninterrupted one. Without Resume the store is
+	// still written, but prior state is ignored (a fresh campaign).
+	Resume bool
 }
 
 // Pipeline drives the staged analysis. The zero value is not usable; use

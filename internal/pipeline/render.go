@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,9 +65,48 @@ func renderAnalysis(b *strings.Builder, res *AnalysisResult) {
 
 	if res.CostEffectiveErr != nil {
 		fmt.Fprintf(b, "\ncost-effectiveness: %v\n", res.CostEffectiveErr)
+	} else {
+		best := res.CostEffective
+		fmt.Fprintf(b, "\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
+			best.Ranks, best.Time, best.Cost, best.Efficiency)
+	}
+
+	renderQuarantine(b, res.Models)
+}
+
+// renderQuarantine names every quarantined kernel with its failure
+// class. It renders nothing for fully successful runs — including runs
+// that only skipped unmodelable series, the historical silent skip — so
+// existing report outputs are byte-identical.
+func renderQuarantine(b *strings.Builder, ms *ModelSet) {
+	if ms == nil || !ms.Degraded() {
 		return
 	}
-	best := res.CostEffective
-	fmt.Fprintf(b, "\nmost cost-effective configuration: %.0f ranks (T = %.2f s, cost = %.3f core-h, efficiency %.3f)\n",
-		best.Ranks, best.Time, best.Cost, best.Efficiency)
+	fmt.Fprintf(b, "\nquarantined kernels (run completed partially):\n")
+	for _, f := range ms.Skipped {
+		if f.Class == FailureUnmodelable {
+			continue
+		}
+		kind := "kernel"
+		if f.App {
+			kind = "app"
+		}
+		fmt.Fprintf(b, "  %-6s %-8s %-55s class=%-8s %s\n", kind, f.Metric, f.Callpath, f.Class, f.Reason)
+	}
+}
+
+// RenderContext is the Report stage under the resilience policy
+// (injection point "report", deadline budget, retry): like Render, but a
+// full run — or the CLI — can inject faults at every stage boundary.
+func (p *Pipeline) RenderContext(ctx context.Context, res *AnalysisResult) (string, error) {
+	var b strings.Builder
+	err := p.runStage(ctx, StageReport, func(sctx context.Context) (Counters, error) {
+		b.Reset() // a retried attempt must not concatenate onto the last
+		renderAnalysis(&b, res)
+		return Counters{"bytes": b.Len()}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }

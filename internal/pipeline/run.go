@@ -32,28 +32,46 @@ type RunResult struct {
 	Report     string
 }
 
+// Degraded reports whether the run completed partially: some per-kernel
+// fits were quarantined (panic or degraded class) but a well-formed
+// report over the surviving models was still produced.
+func (r *RunResult) Degraded() bool {
+	return r != nil && r.Models != nil && r.Models.Degraded()
+}
+
 // Run executes the full pipeline: Ingest (with gate) → Aggregate →
 // EpochExtrapolate → Fit → Analyze → Report. Gate refusals and ingest
 // failures surface with their ingest error types intact so callers keep
 // their exit-code semantics.
+//
+// The run context is wrapped with a cancel cause and armed on the
+// configured fault injector, so cancel-kind faults can kill the run at
+// exactly their scheduled point — the test double for "the user hit ^C
+// here".
 func (p *Pipeline) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	p.cfg.Injector.Arm(cancel)
+
 	res := &RunResult{}
 	var err error
-	if res.Ingest, err = p.Ingest(ctx, spec.ProfilesDir, spec.Format, spec.Ingest); err != nil {
+	if res.Ingest, err = p.Ingest(rctx, spec.ProfilesDir, spec.Format, spec.Ingest); err != nil {
 		return res, err
 	}
 	if err = res.Ingest.Gate(spec.Ingest); err != nil {
 		return res, err
 	}
-	if res.Aggregates, err = p.Aggregate(ctx, res.Ingest.Profiles); err != nil {
+	if res.Aggregates, err = p.Aggregate(rctx, res.Ingest.Profiles); err != nil {
 		return res, err
 	}
-	if res.Models, err = p.BuildModels(ctx, res.Aggregates, spec.Setup); err != nil {
+	if res.Models, err = p.BuildModels(rctx, res.Aggregates, spec.Setup); err != nil {
 		return res, err
 	}
-	if res.Analysis, err = p.Analyze(ctx, res.Models, res.Aggregates, spec.Analyze); err != nil {
+	if res.Analysis, err = p.Analyze(rctx, res.Models, res.Aggregates, spec.Analyze); err != nil {
 		return res, err
 	}
-	res.Report = p.Render(res.Analysis)
+	if res.Report, err = p.RenderContext(rctx, res.Analysis); err != nil {
+		return res, err
+	}
 	return res, nil
 }

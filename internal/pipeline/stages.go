@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"extradeep/internal/measurement"
 	"extradeep/internal/modeling"
 	"extradeep/internal/profile"
+	"extradeep/internal/resilience"
 )
 
 // ModelSet holds every model created for one application. (It moved here
@@ -29,6 +31,10 @@ type ModelSet struct {
 	// measurement sets the models were fitted on.
 	KernelExperiment *measurement.Experiment
 	AppExperiment    *measurement.Experiment
+	// Skipped records every fit task that produced no model, in sorted
+	// task order, with its failure class. Quarantined failures (class
+	// panic/degraded) mark the run as partially complete — see Degraded.
+	Skipped []FitFailure
 }
 
 // KernelCount returns the number of fitted kernel models across metrics.
@@ -44,13 +50,11 @@ func (m *ModelSet) KernelCount() int {
 // with quarantine (internal/ingest). The returned report, its warnings,
 // and the error semantics — including the degradation gate and
 // strict-mode abort — are exactly those of ingest.LoadDir; the pipeline
-// adds only stage timing and counters.
+// adds stage timing, counters and the resilience hooks (injection point
+// "ingest", deadline budget, retry of retryable-class failures).
 func (p *Pipeline) Ingest(ctx context.Context, dir, format string, opts ingest.Options) (*ingest.Report, error) {
 	var report *ingest.Report
-	err := p.observe(StageIngest, func() (Counters, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := p.runStage(ctx, StageIngest, func(sctx context.Context) (Counters, error) {
 		var err error
 		report, err = ingest.LoadDir(dir, format, opts)
 		if report == nil {
@@ -70,14 +74,14 @@ func (p *Pipeline) Ingest(ctx context.Context, dir, format string, opts ingest.O
 // aggregations are independent and fan out across the worker pool.
 func (p *Pipeline) Aggregate(ctx context.Context, profiles []*profile.Profile) ([]*aggregate.ConfigAggregate, error) {
 	var aggs []*aggregate.ConfigAggregate
-	err := p.observe(StageAggregate, func() (Counters, error) {
+	err := p.runStage(ctx, StageAggregate, func(sctx context.Context) (Counters, error) {
 		if len(profiles) == 0 {
 			return nil, errors.New("pipeline: no profiles")
 		}
 		groups := profile.GroupByConfig(profiles)
 		keys := profile.SortedKeys(groups)
 		out := make([]*aggregate.ConfigAggregate, len(keys))
-		err := forEach(ctx, p.cfg.Workers, len(keys), func(i int) error {
+		err := forEach(sctx, p.cfg.Workers, len(keys), func(i int) error {
 			agg, err := aggregate.Aggregate(groups[keys[i]], p.cfg.Aggregation)
 			if err != nil {
 				return fmt.Errorf("pipeline: aggregating %s %s: %w", keys[i].App, keys[i].Point, err)
@@ -113,8 +117,17 @@ type fitTask struct {
 // per-epoch kernel and application experiments from the aggregates
 // (Eqs. 2–4), filters kernels observed in too few configurations, and
 // fans the per-kernel PMNF hypothesis search (Eq. 5) out across the
-// worker pool. Kernels whose series cannot be modeled (degenerate data)
-// are skipped silently, mirroring the tool's historical behaviour.
+// worker pool.
+//
+// Failure handling per task: series the hypothesis search rejects
+// (degenerate data) are skipped silently as before, recorded with class
+// FailureUnmodelable; fits that panic or fail with the degraded class
+// are quarantined with their failure class and the run completes
+// partially (ModelSet.Degraded reports it). With Config.Checkpoint set,
+// every completed task persists incrementally under a content key of its
+// inputs, and a Config.Resume rerun over identical inputs reuses the
+// stored results — byte-identically, since the model codec round-trips
+// exactly.
 func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggregate, setup epoch.SetupFunc) (*ModelSet, error) {
 	minConfigs := p.cfg.MinConfigurations
 	if minConfigs <= 0 {
@@ -122,10 +135,7 @@ func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggr
 	}
 
 	var kernelExp, appExp *measurement.Experiment
-	err := p.observe(StageEpoch, func() (Counters, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := p.runStage(ctx, StageEpoch, func(sctx context.Context) (Counters, error) {
 		var err error
 		kernelExp, err = epoch.BuildKernelExperiment(aggs, setup)
 		if err != nil {
@@ -148,7 +158,7 @@ func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggr
 		KernelExperiment: kernelExp,
 		AppExperiment:    appExp,
 	}
-	err = p.observe(StageFit, func() (Counters, error) {
+	err = p.runStage(ctx, StageFit, func(sctx context.Context) (Counters, error) {
 		// Enumerate tasks in sorted (metric, callpath) order; Metrics()
 		// and Callpaths() already sort.
 		var tasks []fitTask
@@ -161,23 +171,59 @@ func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggr
 			tasks = append(tasks, fitTask{metric: measurement.MetricTime, path: path, series: appExp.Series(measurement.MetricTime, path), app: true})
 		}
 
+		var aggBlob []byte
+		if p.cfg.Checkpoint != nil {
+			aggBlob = encodeAggregates(tasks)
+		}
+		plan, err := newCkptPlan(p.cfg.Checkpoint, tasks, p.cfg.Modeling, aggBlob, p.cfg.Resume)
+		if err != nil {
+			return Counters{"tasks": len(tasks)}, err
+		}
+		w := plan.writer()
+
 		// Fan out: one slot per task, written only by its own goroutine.
+		// Quarantined failures land in their failure slot instead of
+		// aborting the pool; only fatal/retryable errors propagate.
 		models := make([]*modeling.Model, len(tasks))
-		err := forEach(ctx, p.cfg.Workers, len(tasks), func(i int) error {
-			m, err := modeling.FitSeries(tasks[i].series, p.cfg.Modeling)
-			if err != nil {
-				return nil // unmodelable series (constant-zero, degenerate): skip
+		failures := make([]*FitFailure, len(tasks))
+		reused := make([]bool, len(tasks))
+		err = forEach(sctx, p.cfg.Workers, len(tasks), func(i int) error {
+			if rec, ok := plan.reuse(i); ok {
+				if rec.Status == resilience.StatusFitted {
+					if m, derr := decodeModel(rec.Payload); derr == nil {
+						models[i], reused[i] = m, true
+						w.absorb(rec)
+						return nil
+					}
+					// Damaged payload: recover to a miss and refit.
+				} else {
+					failures[i] = &FitFailure{Metric: string(tasks[i].metric), Callpath: tasks[i].path, App: tasks[i].app, Class: rec.Class, Reason: rec.Reason}
+					reused[i] = true
+					w.absorb(rec)
+					return nil
+				}
 			}
-			models[i] = m
-			return nil
+			return p.fitOne(sctx, i, tasks[i], plan, w, models, failures)
 		})
 		if err != nil {
 			return Counters{"tasks": len(tasks)}, err
 		}
 
 		// Deterministic reduction in task order.
-		fitted := 0
+		fitted, unmodelable, quarantined, hits := 0, 0, 0, 0
 		for i, t := range tasks {
+			if reused[i] {
+				hits++
+			}
+			if f := failures[i]; f != nil {
+				ms.Skipped = append(ms.Skipped, *f)
+				if f.Class == FailureUnmodelable {
+					unmodelable++
+				} else {
+					quarantined++
+				}
+				continue
+			}
 			if models[i] == nil {
 				continue
 			}
@@ -193,14 +239,77 @@ func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggr
 			}
 			byPath[t.path] = models[i]
 		}
-		if len(ms.App) == 0 {
-			return Counters{"tasks": len(tasks), "fitted": fitted},
-				errors.New("pipeline: no application model could be created")
+		counters := Counters{"tasks": len(tasks), "fitted": fitted, "skipped": unmodelable}
+		if quarantined > 0 {
+			counters["quarantined"] = quarantined
 		}
-		return Counters{"tasks": len(tasks), "fitted": fitted, "skipped": len(tasks) - fitted}, nil
+		if hits > 0 {
+			counters["reused"] = hits
+		}
+		if len(ms.App) == 0 {
+			return counters, errors.New("pipeline: no application model could be created")
+		}
+		return counters, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return ms, nil
+}
+
+// fitOne runs a single fit task with per-task resilience: the task's
+// injection point fires first; degraded-class injected failures and
+// panics (from injection or the modeling code itself) quarantine the
+// task instead of aborting the pool; unmodelable series keep their
+// historical silent skip. Completed tasks checkpoint incrementally.
+func (p *Pipeline) fitOne(ctx context.Context, i int, t fitTask, plan *ckptPlan, w *ckptWriter, models []*modeling.Model, failures []*FitFailure) (err error) {
+	quarantine := func(class, reason string) {
+		failures[i] = &FitFailure{Metric: string(t.metric), Callpath: t.path, App: t.app, Class: class, Reason: reason}
+		w.record(resilience.TaskRecord{Key: plan.key(i), Name: t.name(), Status: resilience.StatusSkipped, Class: class, Reason: reason})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			quarantine(FailurePanic, fmt.Sprint(r))
+			err = nil
+		}
+	}()
+	if ierr := p.cfg.Injector.At(ctx, fitTaskPoint(i)); ierr != nil {
+		if resilience.IsDegraded(ierr) {
+			quarantine(FailureDegraded, ierr.Error())
+			return nil
+		}
+		return ierr
+	}
+	m, ferr := modeling.FitSeries(t.series, p.cfg.Modeling)
+	if ferr != nil {
+		quarantine(FailureUnmodelable, ferr.Error())
+		return nil
+	}
+	models[i] = m
+	if w != nil {
+		if payload, perr := encodeModel(m); perr == nil {
+			w.record(resilience.TaskRecord{Key: plan.key(i), Name: t.name(), Status: resilience.StatusFitted, Payload: payload})
+		}
+	}
+	return nil
+}
+
+// encodeAggregates canonically serializes the aggregated medians the fit
+// stage runs on, for the campaign-state record: one entry per task in
+// sorted task order.
+func encodeAggregates(tasks []fitTask) []byte {
+	type entry struct {
+		Name    string              `json:"name"`
+		Points  []measurement.Point `json:"points"`
+		Medians []float64           `json:"medians"`
+	}
+	out := make([]entry, len(tasks))
+	for i, t := range tasks {
+		out[i] = entry{Name: t.name(), Points: t.series.Points(), Medians: t.series.Medians()}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil
+	}
+	return b
 }

@@ -1,0 +1,292 @@
+package resilience
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint file layout: a three-part envelope
+//
+//	edckpt v1\n
+//	<sha256 hex of payload>\n
+//	<payload bytes>
+//
+// The digest makes truncation and bit flips detectable: a record either
+// decodes to exactly the bytes that were written or it is a miss — never
+// a partial resume from corrupt state. Writes are temp+rename in the
+// same directory, so a killed process leaves either the previous record
+// or the new one, never a torn file (the same discipline as edlint v3's
+// findings cache).
+const (
+	envelopeMagic = "edckpt v1"
+	// StateVersion identifies the campaign-state payload format.
+	StateVersion = 1
+)
+
+// ErrCorrupt reports an envelope that failed validation; Store.Get turns
+// it into a miss.
+var ErrCorrupt = errors.New("resilience: corrupt checkpoint")
+
+// EncodeEnvelope wraps a payload in the checksummed envelope.
+func EncodeEnvelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(envelopeMagic) + 1 + hex.EncodedLen(len(sum)) + 1 + len(payload))
+	b.WriteString(envelopeMagic)
+	b.WriteByte('\n')
+	b.WriteString(hex.EncodeToString(sum[:]))
+	b.WriteByte('\n')
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// DecodeEnvelope validates the envelope and returns the payload, or
+// ErrCorrupt (wrapped with the reason) for anything damaged.
+func DecodeEnvelope(data []byte) ([]byte, error) {
+	head, rest, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok || string(head) != envelopeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	digest, payload, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok || len(digest) != hex.EncodedLen(sha256.Size) {
+		return nil, fmt.Errorf("%w: bad digest line", ErrCorrupt)
+	}
+	want, err := hex.DecodeString(string(digest))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad digest line", ErrCorrupt)
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("%w: payload digest mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Key hashes the given parts into a content key (hex). Parts are
+// length-prefixed, so ("ab","c") and ("a","bc") key differently.
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is a content-hash-keyed checkpoint directory. A nil *Store is a
+// valid no-op: Get always misses and Put discards.
+type Store struct {
+	// Dir is the checkpoint directory; it is created on first Put.
+	Dir string
+}
+
+// path maps a key to its record file. Keys are hex hashes, so the name
+// needs no escaping.
+func (s *Store) path(key string) string { return filepath.Join(s.Dir, key+".ckpt") }
+
+// Get returns the payload stored under key. Missing, unreadable or
+// corrupt records are all a miss — the caller recomputes, it never
+// resumes from damaged state.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := DecodeEnvelope(data)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put atomically writes the payload under key: the envelope goes to a
+// temp file in the same directory and is renamed into place, so readers
+// and crashes see either the old record or the new one in full.
+func (s *Store) Put(key string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("resilience: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.Dir, ".tmp-"+key[:min(8, len(key))]+"-*")
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(EncodeEnvelope(payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing checkpoint %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: committing checkpoint %s: %w", key, err)
+	}
+	return nil
+}
+
+// TaskRecord is one completed unit of a campaign: a fitted model, or a
+// quarantined/unmodelable unit with its failure class.
+type TaskRecord struct {
+	// Key is the content hash of the task's inputs; resume matches on it,
+	// so a changed input can never reuse a stale result.
+	Key string `json:"key"`
+	// Name is the human-readable task identity, e.g. "time kern/conv1".
+	Name string `json:"name"`
+	// Status is "fitted" or "skipped".
+	Status string `json:"status"`
+	// Class is the failure class for skipped tasks ("panic", "degraded",
+	// "unmodelable").
+	Class string `json:"class,omitempty"`
+	// Reason is the failure detail for skipped tasks.
+	Reason string `json:"reason,omitempty"`
+	// Payload is the opaque encoded result for fitted tasks.
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Task-record statuses.
+const (
+	StatusFitted  = "fitted"
+	StatusSkipped = "skipped"
+)
+
+// CampaignState is the incrementally persisted state of one modeling
+// campaign: the aggregated medians and every completed per-kernel fit.
+// It is written after each completed task, so an interrupted run resumes
+// from the last completed kernel.
+type CampaignState struct {
+	// Version is StateVersion.
+	Version int `json:"version"`
+	// Campaign is the campaign's content key: a hash over every task key
+	// and the modeling options, so any input or configuration change
+	// yields a fresh state.
+	Campaign string `json:"campaign"`
+	// Aggregates is the opaque encoded aggregated-median set (persisted
+	// for cross-run tooling; resume recomputes it from the profiles).
+	Aggregates []byte `json:"aggregates,omitempty"`
+	// Tasks holds the completed task records, sorted by Key.
+	Tasks []TaskRecord `json:"tasks"`
+}
+
+// EncodeState canonically serializes the state: tasks sorted by key,
+// stable JSON field order, wrapped in the checksummed envelope. Encoding
+// is deterministic, so encode→decode→encode is byte-identical.
+func EncodeState(st *CampaignState) ([]byte, error) {
+	if st == nil {
+		return nil, errors.New("resilience: nil campaign state")
+	}
+	norm := *st
+	norm.Version = StateVersion
+	norm.Tasks = append([]TaskRecord(nil), st.Tasks...)
+	sort.Slice(norm.Tasks, func(i, j int) bool { return norm.Tasks[i].Key < norm.Tasks[j].Key })
+	for i := 1; i < len(norm.Tasks); i++ {
+		if norm.Tasks[i].Key == norm.Tasks[i-1].Key {
+			return nil, fmt.Errorf("resilience: duplicate task key %s", norm.Tasks[i].Key)
+		}
+	}
+	payload, err := json.MarshalIndent(&norm, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("resilience: encoding campaign state: %w", err)
+	}
+	return EncodeEnvelope(payload), nil
+}
+
+// DecodeState validates and decodes a state record. Anything that is not
+// a complete, well-formed, current-version state errors (wrapping
+// ErrCorrupt for envelope damage), so resume never proceeds from partial
+// or stale state.
+func DecodeState(data []byte) (*CampaignState, error) {
+	payload, err := DecodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	var st CampaignState
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("resilience: decoding campaign state: %w", err)
+	}
+	if st.Version != StateVersion {
+		return nil, fmt.Errorf("resilience: campaign-state version %d (want %d)", st.Version, StateVersion)
+	}
+	for i, t := range st.Tasks {
+		if t.Key == "" {
+			return nil, fmt.Errorf("resilience: task %d has no key", i)
+		}
+		if i > 0 && st.Tasks[i-1].Key >= t.Key {
+			return nil, fmt.Errorf("resilience: task records not sorted/unique at %s", t.Key)
+		}
+		switch t.Status {
+		case StatusFitted, StatusSkipped:
+		default:
+			return nil, fmt.Errorf("resilience: task %s has unknown status %q", t.Key, t.Status)
+		}
+	}
+	return &st, nil
+}
+
+// LoadState fetches and decodes the campaign state stored under key;
+// any miss or damage returns (nil, false).
+func LoadState(s *Store, key string) (*CampaignState, bool) {
+	data, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	// Get already validated the envelope; DecodeState re-validates it on
+	// the raw bytes, so re-wrap the payload it returned.
+	st, err := DecodeState(EncodeEnvelope(data))
+	if err != nil || st.Campaign != key {
+		return nil, false
+	}
+	return st, true
+}
+
+// SaveState encodes and atomically stores the state under its campaign
+// key.
+func SaveState(s *Store, st *CampaignState) error {
+	data, err := EncodeState(st)
+	if err != nil {
+		return err
+	}
+	// Store.Put wraps in an envelope itself; EncodeState already did, so
+	// write the file directly through the same atomic path.
+	return s.putRaw(st.Campaign, data)
+}
+
+// putRaw atomically writes pre-enveloped bytes under key.
+func (s *Store) putRaw(key string, data []byte) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("resilience: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.Dir, ".tmp-"+key[:min(8, len(key))]+"-*")
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing checkpoint %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: committing checkpoint %s: %w", key, err)
+	}
+	return nil
+}

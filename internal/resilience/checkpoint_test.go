@@ -1,0 +1,302 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extradeep/internal/propcheck"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte("hello\nworld\n"), bytes.Repeat([]byte{0}, 4096)} {
+		enc := EncodeEnvelope(payload)
+		got, err := DecodeEnvelope(enc)
+		if err != nil {
+			t.Fatalf("DecodeEnvelope: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mutated: %q != %q", got, payload)
+		}
+	}
+}
+
+func TestEnvelopeDetectsDamage(t *testing.T) {
+	enc := EncodeEnvelope([]byte("the quick brown fox"))
+	// Truncation at every prefix length must fail, never mis-decode.
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeEnvelope(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// A single bit flip anywhere must fail.
+	for i := 0; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := DecodeEnvelope(bad); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		}
+	}
+}
+
+func TestKeyIsLengthPrefixed(t *testing.T) {
+	if Key([]byte("ab"), []byte("c")) == Key([]byte("a"), []byte("bc")) {
+		t.Fatal("part boundaries do not affect the key")
+	}
+	if Key([]byte("x")) != Key([]byte("x")) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	key := Key([]byte("task"))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Overwrite is atomic and last-write-wins.
+	if err := s.Put(key, []byte("payload v2")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got, _ := s.Get(key); string(got) != "payload v2" {
+		t.Fatalf("Get after overwrite = %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != key+".ckpt" {
+			t.Fatalf("unexpected file %s in store dir", e.Name())
+		}
+	}
+}
+
+func TestStoreCorruptRecordIsMiss(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	key := Key([]byte("task"))
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir, key+".ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt record returned a hit")
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("nil Put: %v", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil Get hit")
+	}
+	if _, ok := LoadState(s, "k"); ok {
+		t.Fatal("nil LoadState hit")
+	}
+}
+
+func TestEncodeStateRejectsDuplicates(t *testing.T) {
+	st := &CampaignState{
+		Campaign: "c",
+		Tasks: []TaskRecord{
+			{Key: "k1", Name: "a", Status: StatusFitted},
+			{Key: "k1", Name: "b", Status: StatusFitted},
+		},
+	}
+	if _, err := EncodeState(st); err == nil {
+		t.Fatal("duplicate task keys encoded successfully")
+	}
+}
+
+func TestDecodeStateValidates(t *testing.T) {
+	mk := func(mut func(*CampaignState)) []byte {
+		st := &CampaignState{
+			Version:  StateVersion,
+			Campaign: "c",
+			Tasks: []TaskRecord{
+				{Key: "a", Name: "t0", Status: StatusFitted, Payload: []byte("m")},
+				{Key: "b", Name: "t1", Status: StatusSkipped, Class: "panic", Reason: "boom"},
+			},
+		}
+		mut(st)
+		// Bypass EncodeState's normalization to exercise DecodeState.
+		payload, err := jsonMarshalState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EncodeEnvelope(payload)
+	}
+	if _, err := DecodeState(mk(func(*CampaignState) {})); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*CampaignState){
+		"bad version":    func(st *CampaignState) { st.Version = 99 },
+		"unsorted tasks": func(st *CampaignState) { st.Tasks[0], st.Tasks[1] = st.Tasks[1], st.Tasks[0] },
+		"empty key":      func(st *CampaignState) { st.Tasks[0].Key = "" },
+		"bad status":     func(st *CampaignState) { st.Tasks[1].Status = "maybe" },
+	} {
+		if _, err := DecodeState(mk(mut)); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}
+
+// jsonMarshalState mirrors EncodeState's serialization without its
+// normalization, so tests can build deliberately invalid records.
+func jsonMarshalState(st *CampaignState) ([]byte, error) {
+	return json.MarshalIndent(st, "", " ")
+}
+
+func TestSaveLoadState(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	st := &CampaignState{
+		Campaign:   Key([]byte("campaign")),
+		Aggregates: []byte(`{"medians":true}`),
+		Tasks: []TaskRecord{
+			{Key: Key([]byte("t1")), Name: "time kern/a", Status: StatusFitted, Payload: []byte(`{"f":1}`)},
+			{Key: Key([]byte("t2")), Name: "time kern/b", Status: StatusSkipped, Class: "panic", Reason: "injected"},
+		},
+	}
+	if err := SaveState(s, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	got, ok := LoadState(s, st.Campaign)
+	if !ok {
+		t.Fatal("LoadState missed")
+	}
+	if got.Campaign != st.Campaign || len(got.Tasks) != 2 {
+		t.Fatalf("LoadState = %+v", got)
+	}
+	// A record stored under a mismatched campaign key is a miss.
+	other := Key([]byte("other"))
+	if err := s.putRaw(other, mustEncodeState(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadState(s, other); ok {
+		t.Fatal("state with mismatched campaign key loaded")
+	}
+}
+
+func mustEncodeState(t *testing.T, st *CampaignState) []byte {
+	t.Helper()
+	data, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// genState generates arbitrary well-formed campaign states, unsorted on
+// purpose: EncodeState must canonicalize them.
+func genState() propcheck.Gen[*CampaignState] {
+	return propcheck.Gen[*CampaignState]{
+		Generate: func(r *propcheck.Rand) *CampaignState {
+			n := r.IntRange(0, 8)
+			st := &CampaignState{
+				Campaign: fmt.Sprintf("%064x", r.Int64Range(0, 1<<50)),
+			}
+			if r.Bool() {
+				st.Aggregates = randBytes(r, 64)
+			}
+			seen := map[string]bool{}
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("%064x", r.Int64Range(0, 1<<50))
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				tr := TaskRecord{Key: key, Name: fmt.Sprintf("metric kern/%d", i)}
+				if r.Bool() {
+					tr.Status = StatusFitted
+					tr.Payload = randBytes(r, 128)
+				} else {
+					tr.Status = StatusSkipped
+					tr.Class = []string{"panic", "degraded", "unmodelable"}[r.Intn(3)]
+					tr.Reason = "injected failure"
+				}
+				st.Tasks = append(st.Tasks, tr)
+			}
+			return st
+		},
+		Describe: func(st *CampaignState) string {
+			return fmt.Sprintf("campaign=%s tasks=%d", st.Campaign, len(st.Tasks))
+		},
+	}
+}
+
+func randBytes(r *propcheck.Rand, maxLen int) []byte {
+	b := make([]byte, r.IntRange(1, maxLen))
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// TestPropCheckpointRoundTrip is the satellite's core property:
+// encode → decode → encode is byte-identical for arbitrary states, and a
+// truncated or bit-flipped record is always detected and recovered to a
+// miss, never a partial resume.
+func TestPropCheckpointRoundTrip(t *testing.T) {
+	propcheck.Check(t, genState(), func(st *CampaignState) error {
+		enc1, err := EncodeState(st)
+		if err != nil {
+			return fmt.Errorf("encode: %w", err)
+		}
+		dec, err := DecodeState(enc1)
+		if err != nil {
+			return fmt.Errorf("decode: %w", err)
+		}
+		enc2, err := EncodeState(dec)
+		if err != nil {
+			return fmt.Errorf("re-encode: %w", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			return errors.New("encode→decode→encode not byte-identical")
+		}
+		// Damage detection: truncate at a third and two-thirds, flip one
+		// payload bit; all three must recover to a miss through the store.
+		s := &Store{Dir: t.TempDir()}
+		key := dec.Campaign
+		for i, damage := range [][]byte{
+			enc1[:len(enc1)/3],
+			enc1[:2*len(enc1)/3],
+			flipBit(enc1, len(enc1)-1),
+		} {
+			if err := s.putRaw(key, damage); err != nil {
+				return err
+			}
+			if _, ok := LoadState(s, key); ok {
+				return fmt.Errorf("damaged record %d loaded", i)
+			}
+		}
+		return nil
+	})
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x10
+	return out
+}

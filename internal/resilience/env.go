@@ -1,0 +1,42 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Environment knobs for runtime fault injection, mirroring propcheck's
+// EDCHECK_SEED replay protocol: a failing schedule is one paste away
+// from a local reproduction.
+const (
+	// ScheduleEnv holds an explicit ParseSchedule string.
+	ScheduleEnv = "EDFAULT_SCHEDULE"
+	// SeedEnv derives a schedule via ScheduleFromSeed when ScheduleEnv
+	// is unset.
+	SeedEnv = "EDFAULT_SEED"
+	// seedMaxFaults bounds a seed-derived schedule's size.
+	seedMaxFaults = 4
+)
+
+// ScheduleFromEnv resolves the fault-injection environment knobs: an
+// explicit EDFAULT_SCHEDULE wins, otherwise EDFAULT_SEED derives a
+// schedule over the given points. With neither set it returns nil — the
+// production no-op path.
+func ScheduleFromEnv(points []string) ([]Fault, error) {
+	if s := os.Getenv(ScheduleEnv); s != "" {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ScheduleEnv, err)
+		}
+		return sched, nil
+	}
+	if s := os.Getenv(SeedEnv); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: invalid seed %q: %v", SeedEnv, s, err)
+		}
+		return ScheduleFromSeed(seed, points, seedMaxFaults), nil
+	}
+	return nil, nil
+}

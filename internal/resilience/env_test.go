@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleFromEnv(t *testing.T) {
+	points := []string{"ingest", "fit", "report"}
+
+	t.Run("neither set", func(t *testing.T) {
+		t.Setenv(ScheduleEnv, "")
+		t.Setenv(SeedEnv, "")
+		sched, err := ScheduleFromEnv(points)
+		if err != nil || sched != nil {
+			t.Fatalf("got %v, %v; want nil, nil", sched, err)
+		}
+	})
+
+	t.Run("explicit schedule wins over seed", func(t *testing.T) {
+		t.Setenv(ScheduleEnv, "fit@0=panic")
+		t.Setenv(SeedEnv, "42")
+		sched, err := ScheduleFromEnv(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Fault{{Point: "fit", Hit: 0, Kind: KindPanic}}
+		if !reflect.DeepEqual(sched, want) {
+			t.Fatalf("got %v, want %v", sched, want)
+		}
+	})
+
+	t.Run("seed derives deterministically", func(t *testing.T) {
+		t.Setenv(ScheduleEnv, "")
+		t.Setenv(SeedEnv, "42")
+		a, err := ScheduleFromEnv(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ScheduleFromEnv(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed schedule not deterministic: %v vs %v", a, b)
+		}
+	})
+
+	t.Run("invalid values error", func(t *testing.T) {
+		t.Setenv(ScheduleEnv, "fit@0=maybe")
+		if _, err := ScheduleFromEnv(points); err == nil {
+			t.Fatal("bad schedule accepted")
+		}
+		t.Setenv(ScheduleEnv, "")
+		t.Setenv(SeedEnv, "not-a-number")
+		if _, err := ScheduleFromEnv(points); err == nil {
+			t.Fatal("bad seed accepted")
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode asserts the checkpoint loader invariant on
+// arbitrary file bytes: DecodeState either returns a fully validated
+// campaign state that re-encodes byte-identically, or an error — it
+// never panics and never accepts a record it cannot reproduce. This is
+// the property that makes corrupt checkpoints safe: anything damaged is
+// rejected here and Store.Get turns the rejection into a cache miss.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := mustEncode(f, &CampaignState{
+		Campaign:   Key([]byte("campaign")),
+		Aggregates: []byte(`{"medians":[1,2,3]}`),
+		Tasks: []TaskRecord{
+			{Key: Key([]byte("t1")), Name: "time kern/a", Status: StatusFitted, Payload: []byte(`{"f":"p^1"}`)},
+			{Key: Key([]byte("t2")), Name: "time kern/b", Status: StatusSkipped, Class: "panic", Reason: "injected"},
+		},
+	})
+	f.Add(valid)
+	f.Add(mustEncode(f, &CampaignState{Campaign: "empty"}))
+	f.Add(valid[:len(valid)/2])               // truncated mid-payload
+	f.Add(valid[:len("edckpt v1")])           // magic only
+	f.Add([]byte("edckpt v1\n"))              // no digest line
+	f.Add([]byte("edckpt v2\nxx\n{}"))        // wrong version magic
+	f.Add(EncodeEnvelope([]byte("not json"))) // valid envelope, bad payload
+	f.Add(EncodeEnvelope([]byte(`{"version":1,"campaign":"c","tasks":null}`)))
+	f.Add(EncodeEnvelope([]byte(`{"version":99,"campaign":"c","tasks":null}`)))
+	f.Add(bytes.Replace(valid, []byte("fitted"), []byte("maybes"), 1)) // broken digest
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			return // rejected input: the other half of the invariant
+		}
+		// Every accepted state reaches the canonical encoding in one
+		// step: encode → decode → encode is byte-identical (the input
+		// itself may carry non-canonical JSON whitespace).
+		re, err := EncodeState(st)
+		if err != nil {
+			t.Fatalf("accepted state failed to re-encode: %v", err)
+		}
+		st2, err := DecodeState(re)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		re2, err := EncodeState(st2)
+		if err != nil {
+			t.Fatalf("canonical state failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n in: %q\nout: %q", re, re2)
+		}
+	})
+}
+
+func mustEncode(f *testing.F, st *CampaignState) []byte {
+	f.Helper()
+	data, err := EncodeState(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}

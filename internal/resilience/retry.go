@@ -1,0 +1,125 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Default retry-policy values, chosen so a transient failure gets two
+// more chances within roughly a second of wall time.
+const (
+	defaultMaxAttempts = 3
+	defaultBaseDelay   = 100 * time.Millisecond
+	defaultMaxDelay    = 5 * time.Second
+	defaultMultiplier  = 2.0
+)
+
+// RetryPolicy describes an exponential-backoff-with-jitter schedule. The
+// jitter is a pure function of (Seed, attempt) — no randomness source is
+// consulted — so the schedule is fully deterministic and replayable: two
+// runs with the same seed back off identically forever.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per operation (first run
+	// included); 0 means 3, 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay before the first retry
+	// (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth (0 = 5s).
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor (0 = 2).
+	Multiplier float64
+	// Seed derives the deterministic jitter; the zero seed is valid.
+	Seed int64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return defaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the delay before retry number attempt (0-based: the
+// delay between the first failure and the second try). The pre-jitter
+// delay grows as BaseDelay·Multiplierᵃ capped at MaxDelay; full jitter
+// scales it into [½·delay, delay), so synchronized retriers decorrelate
+// while the schedule stays a pure function of the policy.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = defaultBaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = defaultMaxDelay
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = defaultMultiplier
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	// Jitter factor in [0.5, 1.0): a SplitMix64 finalizer over
+	// (seed, attempt) — deterministic, well mixed, and free of any
+	// randomness source the wallclock analyzer would police.
+	u := splitmix64(uint64(p.Seed) ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	frac := 0.5 + 0.5*float64(u>>11)/float64(1<<53)
+	return time.Duration(d * frac)
+}
+
+// splitmix64 is the SplitMix64 finalizer, the same mixer propcheck uses
+// for per-case seeds.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Retrier re-runs an operation while it fails with the retryable class,
+// sleeping the policy's backoff between attempts on the given clock.
+type Retrier struct {
+	// Policy is the backoff schedule; the zero value uses the defaults.
+	Policy RetryPolicy
+	// Clock paces the backoff sleeps; nil means the wall clock.
+	Clock Clock
+}
+
+func (r *Retrier) clock() Clock {
+	if r.Clock == nil {
+		return WallClock{}
+	}
+	return r.Clock
+}
+
+// Do runs op up to Policy.MaxAttempts times. Only failures whose class
+// is retryable are retried; fatal and degraded failures — and the final
+// attempt's error — return immediately. A context that ends during the
+// backoff sleep surfaces its cause (cancellation always outranks the
+// retry budget).
+func (r *Retrier) Do(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	attempts := r.Policy.attempts()
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := CauseOrErr(ctx); cerr != nil {
+			return Wrap(ClassFatal, op, cerr)
+		}
+		err = fn(ctx)
+		if err == nil || !IsRetryable(err) || attempt == attempts-1 {
+			return err
+		}
+		if serr := r.clock().Sleep(ctx, r.Policy.Backoff(attempt)); serr != nil {
+			return Wrap(ClassFatal, op, serr)
+		}
+	}
+	return err
+}

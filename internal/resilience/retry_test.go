@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"extradeep/internal/propcheck"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Seed: 1}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.Backoff(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d > p.MaxDelay {
+			t.Fatalf("attempt %d: backoff %v above cap %v", attempt, d, p.MaxDelay)
+		}
+		_ = prev
+		prev = d
+	}
+	// Once the exponential is capped, jitter keeps the delay in
+	// [MaxDelay/2, MaxDelay).
+	if d := p.Backoff(30); d < p.MaxDelay/2 || d >= p.MaxDelay {
+		t.Fatalf("capped backoff %v outside [%v, %v)", d, p.MaxDelay/2, p.MaxDelay)
+	}
+}
+
+// TestPropBackoffDeterministic pins the jitter contract: the schedule is
+// a pure function of (policy, attempt), bounded by [delay/2, delay), and
+// distinct seeds actually decorrelate.
+func TestPropBackoffDeterministic(t *testing.T) {
+	type tc struct {
+		Seed    int64
+		Attempt int
+	}
+	gen := propcheck.Gen[tc]{
+		Generate: func(r *propcheck.Rand) tc {
+			return tc{Seed: r.Int64Range(0, 1<<40), Attempt: r.IntRange(0, 40)}
+		},
+	}
+	propcheck.Check(t, gen, func(c tc) error {
+		p := RetryPolicy{BaseDelay: 50 * time.Millisecond, MaxDelay: 10 * time.Second, Multiplier: 2, Seed: c.Seed}
+		d1 := p.Backoff(c.Attempt)
+		d2 := p.Backoff(c.Attempt)
+		if d1 != d2 {
+			return errors.New("backoff not deterministic for identical inputs")
+		}
+		// Recompute the pre-jitter envelope and check the jitter bounds.
+		raw := float64(50 * time.Millisecond)
+		for i := 0; i < c.Attempt; i++ {
+			raw *= 2
+			if raw >= float64(10*time.Second) {
+				raw = float64(10 * time.Second)
+				break
+			}
+		}
+		if float64(d1) < raw/2 || float64(d1) >= raw {
+			return errors.New("backoff outside the [delay/2, delay) jitter window")
+		}
+		return nil
+	})
+}
+
+func TestRetrierRetriesOnlyRetryable(t *testing.T) {
+	clock := NewFakeClock()
+	r := &Retrier{Policy: RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond}, Clock: clock}
+
+	calls := 0
+	err := r.Do(context.Background(), "fit", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return Errorf(ClassRetryable, "fit", "transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("retryable run: err=%v calls=%d", err, calls)
+	}
+	if len(clock.Slept()) != 2 {
+		t.Fatalf("slept %v times, want 2 backoffs", len(clock.Slept()))
+	}
+
+	calls = 0
+	err = r.Do(context.Background(), "fit", func(context.Context) error {
+		calls++
+		return Errorf(ClassFatal, "fit", "broken input")
+	})
+	if calls != 1 || ClassOf(err) != ClassFatal {
+		t.Fatalf("fatal run: calls=%d err=%v", calls, err)
+	}
+
+	calls = 0
+	err = r.Do(context.Background(), "fit", func(context.Context) error {
+		calls++
+		return Errorf(ClassDegraded, "fit", "quarantine me")
+	})
+	if calls != 1 || !IsDegraded(err) {
+		t.Fatalf("degraded run: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	clock := NewFakeClock()
+	r := &Retrier{Policy: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}, Clock: clock}
+	calls := 0
+	err := r.Do(context.Background(), "ingest", func(context.Context) error {
+		calls++
+		return Errorf(ClassRetryable, "ingest", "still flaky")
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("exhausted retrier returned %v, want the last retryable error", err)
+	}
+	if len(clock.Slept()) != 3 {
+		t.Fatalf("slept %d times, want 3", len(clock.Slept()))
+	}
+}
+
+func TestRetrierStopsOnContextCancel(t *testing.T) {
+	clock := NewFakeClock()
+	r := &Retrier{Policy: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, Clock: clock}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := r.Do(ctx, "fit", func(context.Context) error {
+		calls++
+		cancel()
+		return Errorf(ClassRetryable, "fit", "transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during backoff)", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled surfaced", err)
+	}
+	if ClassOf(err) != ClassFatal {
+		t.Fatalf("cancellation classified %v, want fatal", ClassOf(err))
+	}
+}
+
+func TestRetrierChecksContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Retrier{Clock: NewFakeClock()}
+	calls := 0
+	err := r.Do(ctx, "fit", func(context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("op ran %d times on a dead context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPropRetrySleepScheduleReplayable: with a fake clock, the observed
+// sleep sequence for a given (seed, failure count) is identical across
+// runs — the deterministic-backoff contract end to end through Do.
+func TestPropRetrySleepScheduleReplayable(t *testing.T) {
+	type tc struct {
+		Seed     int64
+		Failures int
+	}
+	gen := propcheck.Gen[tc]{
+		Generate: func(r *propcheck.Rand) tc {
+			return tc{Seed: r.Int64Range(0, 1<<40), Failures: r.IntRange(0, 5)}
+		},
+	}
+	propcheck.Check(t, gen, func(c tc) error {
+		run := func() []time.Duration {
+			clock := NewFakeClock()
+			r := &Retrier{
+				Policy: RetryPolicy{MaxAttempts: 6, BaseDelay: 20 * time.Millisecond, Seed: c.Seed},
+				Clock:  clock,
+			}
+			calls := 0
+			_ = r.Do(context.Background(), "stage", func(context.Context) error {
+				calls++
+				if calls <= c.Failures {
+					return Errorf(ClassRetryable, "stage", "flaky")
+				}
+				return nil
+			})
+			return clock.Slept()
+		}
+		a, b := run(), run()
+		if len(a) != len(b) || len(a) != c.Failures {
+			return errors.New("sleep count differs across identical runs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return errors.New("sleep schedule differs across identical runs")
+			}
+		}
+		return nil
+	})
+}

@@ -6,7 +6,38 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> gofmt"
+# Failure classification: every stage declares its name and class via
+# begin() before running, and the single EXIT trap below both cleans up
+# every temp artifact and — on a non-zero exit — prints one machine-
+# greppable line naming the stage and the failure class (build / test /
+# lint / budget-exceeded), so a red gate is diagnosable from the last
+# line of output alone.
+stage="startup"
+class="build"
+cover_current=""
+lint_bin=""
+lint_cache=""
+
+cleanup() {
+	code=$?
+	[ -n "$cover_current" ] && rm -f "$cover_current"
+	[ -n "$lint_bin" ] && rm -f "$lint_bin"
+	[ -n "$lint_cache" ] && rm -rf "$lint_cache"
+	if [ "$code" -ne 0 ]; then
+		echo "verify.sh: FAILED stage=$stage class=$class" >&2
+	fi
+	exit "$code"
+}
+trap cleanup EXIT
+
+# begin <stage> <class> <banner>
+begin() {
+	stage=$1
+	class=$2
+	echo "==> $3"
+}
+
+begin gofmt lint "gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
@@ -14,13 +45,13 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "==> go vet ./..."
+begin vet lint "go vet ./..."
 go vet ./...
 
-echo "==> go build ./..."
+begin build build "go build ./..."
 go build ./...
 
-echo "==> go test -race ./..."
+begin test test "go test -race ./..."
 go test -race ./...
 
 # The concurrency and determinism contracts (stable results across worker
@@ -29,30 +60,47 @@ go test -race ./...
 # order, run twice, under the race detector, across the deterministic core
 # of the modeling path.
 shuffle_pkgs="./internal/pipeline/... ./internal/aggregate/... ./internal/epoch/... ./internal/modeling/... ./internal/pmnf/... ./internal/analysis/..."
-echo "==> go test -race -shuffle=on -count=2 (pipeline + modeling core)"
+begin shuffle test "go test -race -shuffle=on -count=2 (pipeline + modeling core)"
 go test -race -shuffle=on -count=2 $shuffle_pkgs
 
 # The edlint parallel loader type-checks packages concurrently and its
 # incremental cache must stay byte-identical to a cold run; both contracts
 # get a dedicated shuffled race pass (the full ./... race run above covers
 # the rest of the lint suite once).
-echo "==> go test -race -shuffle=on (edlint parallel loader + cache parity)"
+begin lint-parity test "go test -race -shuffle=on (edlint parallel loader + cache parity)"
 go test -race -shuffle=on -run 'TestLoadModuleWorkersParity|TestLintCacheParity|TestPropLintCacheParity' ./internal/lint
+
+# resilience: the randomized fault-schedule invariants — every run either
+# completes, completes partially with all failures classified, or fails
+# with a typed error; resume after any interruption is byte-identical;
+# injector and retrier replay exactly from their seeds — rerun under the
+# race detector as a dedicated stage with their own wall-time budget, so
+# a hang in the chaos path (a stalled stage, a leaked goroutine blocking
+# exit) surfaces as budget-exceeded rather than wedging the whole gate.
+begin resilience test "go test -race (fault-schedule propcheck invariants, 120s budget)"
+res_start=$(date +%s)
+go test -race -run 'TestPropFaultScheduleTrichotomy|TestPropResumeByteIdentical|TestPropCheckpointRoundTrip|TestPropInjectorReplayIdentical|TestPropRetrySleepScheduleReplayable' ./internal/resilience ./internal/pipeline
+res_elapsed=$(($(date +%s) - res_start))
+echo "resilience: fault-schedule suites passed in ${res_elapsed}s"
+if [ "$res_elapsed" -gt 120 ]; then
+	class="budget-exceeded"
+	echo "resilience: suites exceeded the 120s budget (${res_elapsed}s) — a chaos-path stall or runaway schedule; replay the printed EDCHECK_SEED" >&2
+	exit 1
+fi
 
 # edcheck: the propcheck invariant suites (TestProp*) rerun in their
 # long-haul configuration — 5x the per-property iteration count under a
 # 55-second budget. Any failure prints a one-line EDCHECK_SEED replay
 # recipe; the budget keeps the gate cheap as suites accumulate.
-echo "==> edcheck (long-haul propcheck invariants: 5x iterations, 55s budget)"
+begin edcheck test "edcheck (long-haul propcheck invariants: 5x iterations, 55s budget)"
 go run ./cmd/edcheck
 
 # Coverage-regression gate: per-package statement coverage must not drop
 # more than 2 points below the committed baseline. Refresh the baseline
 # deliberately (see the regeneration hint below) when coverage moves for a
 # good reason; silent erosion fails the gate.
-echo "==> coverage regression (baseline: COVERAGE_baseline.txt, 2pt tolerance)"
+begin coverage test "coverage regression (baseline: COVERAGE_baseline.txt, 2pt tolerance)"
 cover_current=$(mktemp)
-trap 'rm -f "$cover_current"' EXIT
 go test -cover ./internal/... |
 	awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") { p = $(i + 1); sub(/%/, "", p); print $2, p } }' |
 	sort >"$cover_current"
@@ -89,10 +137,9 @@ awk '
 # one — a warm miss here means the content-addressed cache broke.
 # BENCH_lint.json tracks the finer-grained trajectory via
 # BenchmarkLintRepo / BenchmarkLintRepoWarm / BenchmarkLintRepoWarmLoad.
-echo "==> edlint ./... (edlint-bench: cold-then-warm, 20s/5s budgets)"
+begin edlint lint "edlint ./... (edlint-bench: cold-then-warm, 20s/5s budgets)"
 lint_bin=$(mktemp)
 lint_cache=$(mktemp -d)
-trap 'rm -f "$cover_current" "$lint_bin"; rm -rf "$lint_cache"' EXIT
 go build -o "$lint_bin" ./cmd/edlint
 lint_start=$(date +%s)
 "$lint_bin" -cachedir "$lint_cache" ./...
@@ -102,20 +149,25 @@ lint_start=$(date +%s)
 lint_warm=$(($(date +%s) - lint_start))
 echo "edlint-bench: cold ${lint_cold}s, warm ${lint_warm}s"
 if [ "$lint_cold" -gt 20 ]; then
+	class="budget-exceeded"
 	echo "edlint-bench: cold run exceeded the 20s budget (${lint_cold}s) — profile with 'go test -bench BenchmarkLintRepo ./internal/lint'" >&2
 	exit 1
 fi
 if [ "$lint_warm" -gt 5 ]; then
+	class="budget-exceeded"
 	echo "edlint-bench: warm run exceeded the 5s budget (${lint_warm}s) — the incremental cache is not hitting; profile with 'go test -bench BenchmarkLintRepoWarm ./internal/lint'" >&2
 	exit 1
 fi
 
 # Fuzz smoke: the ingestion invariant ("valid profile or error — never a
 # panic, never a NaN smuggled into the pipeline") must survive a short
-# native-fuzzing burst on every loader fuzz target.
-echo "==> fuzz smoke (5s per target)"
+# native-fuzzing burst on every loader fuzz target, plus the checkpoint
+# decoder ("state round-trips or errors — a truncated or bit-flipped
+# state file must never panic or load silently wrong").
+begin fuzz test "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=5s ./internal/importer
 go test -run='^$' -fuzz='^FuzzProfileRead$' -fuzztime=5s ./internal/profile
 go test -run='^$' -fuzz='^FuzzParseFileName$' -fuzztime=5s ./internal/profile
+go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=5s ./internal/resilience
 
 echo "verify.sh: all gates passed"
