@@ -92,10 +92,7 @@ func EfficiencyModel(runtime *pmnf.Function, xs []float64, opts modeling.Options
 	if err != nil {
 		return nil, err
 	}
-	min := opts.MinPoints
-	if min == 0 {
-		min = measurement.MinModelingPoints
-	}
+	min := opts.EffectiveMinPoints()
 	if len(xs) > min {
 		xs, effs = xs[1:], effs[1:]
 	}

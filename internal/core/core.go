@@ -212,7 +212,7 @@ func RunCampaign(c Campaign) (*CampaignResult, error) {
 		return nil, err
 	}
 	opts := c.Options
-	if opts.Modeling.PolyExponents == nil && opts.Modeling.MaxTerms == 0 {
+	if opts.Modeling.Unset() {
 		opts = DefaultOptions()
 		opts.Workers = c.Options.Workers
 		opts.Resilience = c.Options.Resilience

@@ -66,7 +66,7 @@ func RunGridCampaign(c GridCampaign) (*GridResult, error) {
 		return nil, err
 	}
 	opts := c.Options
-	if opts.Modeling.PolyExponents == nil && opts.Modeling.MaxTerms == 0 {
+	if opts.Modeling.Unset() {
 		opts = DefaultOptions()
 		// The batch size enters the per-epoch metric inversely (fewer,
 		// bigger steps), so the grid surface needs negative exponents

@@ -15,6 +15,46 @@ var ErrSingular = errors.New("mathutil: singular or ill-conditioned system")
 // runs Gaussian elimination with scaled partial pivoting, and returns x.
 // A must be square with len(A) == len(b).
 func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	return SolveLinearSystemInto(a, b, nil)
+}
+
+// SolveWorkspace holds the scratch buffers of SolveLinearSystemInto so
+// repeated small solves (the PMNF fit engine issues one per
+// cross-validation fold per hypothesis) reuse memory instead of
+// allocating. The zero value is ready to use. A workspace is not safe
+// for concurrent use.
+type SolveWorkspace struct {
+	m     [][]float64
+	scale []float64
+	x     []float64
+}
+
+// grow resizes the workspace for an n-equation system.
+func (ws *SolveWorkspace) grow(n int) {
+	for len(ws.m) < n {
+		ws.m = append(ws.m, nil)
+	}
+	for i := 0; i < n; i++ {
+		for len(ws.m[i]) < n+1 {
+			ws.m[i] = append(ws.m[i], 0)
+		}
+	}
+	for len(ws.scale) < n {
+		ws.scale = append(ws.scale, 0)
+	}
+	for len(ws.x) < n {
+		ws.x = append(ws.x, 0)
+	}
+}
+
+// SolveLinearSystemInto is SolveLinearSystem with caller-owned scratch:
+// the inputs are still copied (callers keep their data), but into the
+// workspace's reusable buffers, and the returned solution aliases
+// workspace memory — valid until the next solve on the same workspace.
+// A nil workspace allocates fresh buffers, making the two functions
+// interchangeable; the elimination itself is shared, so solutions are
+// bit-identical between them.
+func SolveLinearSystemInto(a [][]float64, b []float64, ws *SolveWorkspace) ([]float64, error) {
 	n := len(a)
 	if n == 0 {
 		return nil, ErrEmpty
@@ -22,19 +62,23 @@ func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
 	if len(b) != n {
 		return nil, fmt.Errorf("mathutil: dimension mismatch: %d equations, %d right-hand sides", n, len(b))
 	}
+	if ws == nil {
+		ws = &SolveWorkspace{}
+	}
+	ws.grow(n)
 	// Copy the augmented system so callers keep their data.
-	m := make([][]float64, n)
+	m := ws.m[:n]
 	for i := range m {
 		if len(a[i]) != n {
 			return nil, fmt.Errorf("mathutil: row %d has %d columns, want %d", i, len(a[i]), n)
 		}
-		m[i] = make([]float64, n+1)
 		copy(m[i], a[i])
 		m[i][n] = b[i]
 	}
 	// Row scale factors for scaled partial pivoting.
-	scale := make([]float64, n)
+	scale := ws.scale[:n]
 	for i := range m {
+		scale[i] = 0
 		for j := 0; j < n; j++ {
 			if v := math.Abs(m[i][j]); v > scale[i] {
 				scale[i] = v
@@ -71,7 +115,7 @@ func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
+	x := ws.x[:n]
 	for i := n - 1; i >= 0; i-- {
 		sum := m[i][n]
 		for j := i + 1; j < n; j++ {

@@ -1,0 +1,436 @@
+package modeling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"extradeep/internal/measurement"
+	"extradeep/internal/pmnf"
+	"extradeep/internal/propcheck"
+)
+
+// These tests pin the central contract of the design-matrix engine: for
+// every input, the fast path (Fitter.Fit on a fitContext) and the frozen
+// direct-solve oracle (oracle.go) must agree bit for bit — same accepted
+// hypotheses, same winning model, same coefficient, SMAPE and RSS bits —
+// and must fail with the same error when no model exists.
+
+// engineFit runs the fast path on already-valid inputs.
+func engineFit(points []measurement.Point, values []float64, opts Options) (*Model, error) {
+	f, err := NewFitter(points, values, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Fit()
+}
+
+// oracleFit runs the reference path on the same normalized inputs the
+// engine sees.
+func oracleFit(points []measurement.Point, values []float64, opts Options) (*Model, error) {
+	opts = normalizeOptions(opts)
+	if err := validateFitInputs(points, values, opts); err != nil {
+		return nil, err
+	}
+	return fitOracle(points, values, opts)
+}
+
+// sameModelBits reports the first bit-level difference between two fitted
+// models, or nil when they are identical in every selection-relevant
+// field.
+func sameModelBits(fast, ref *Model) error {
+	if got, want := fast.Function.String(), ref.Function.String(); got != want {
+		return fmt.Errorf("winning hypothesis differs: engine %q, oracle %q", got, want)
+	}
+	if got, want := math.Float64bits(fast.Function.Constant), math.Float64bits(ref.Function.Constant); got != want {
+		return fmt.Errorf("constant bits differ: engine %x (%g), oracle %x (%g)",
+			got, fast.Function.Constant, want, ref.Function.Constant)
+	}
+	if len(fast.Function.Terms) != len(ref.Function.Terms) {
+		return fmt.Errorf("term count differs: engine %d, oracle %d", len(fast.Function.Terms), len(ref.Function.Terms))
+	}
+	for i, ft := range fast.Function.Terms {
+		rt := ref.Function.Terms[i]
+		if got, want := math.Float64bits(ft.Coefficient), math.Float64bits(rt.Coefficient); got != want {
+			return fmt.Errorf("term %d coefficient bits differ: engine %x (%g), oracle %x (%g)",
+				i, got, ft.Coefficient, want, rt.Coefficient)
+		}
+		if len(ft.Factors) != len(rt.Factors) {
+			return fmt.Errorf("term %d factor count differs", i)
+		}
+		for j, f := range ft.Factors {
+			if f != rt.Factors[j] {
+				return fmt.Errorf("term %d factor %d differs: engine %+v, oracle %+v", i, j, f, rt.Factors[j])
+			}
+		}
+	}
+	for _, c := range []struct {
+		name       string
+		fast, refV float64
+	}{
+		{"SMAPE", fast.SMAPE, ref.SMAPE},
+		{"RSS", fast.RSS, ref.RSS},
+		{"R2", fast.R2, ref.R2},
+		{"RelResidualStd", fast.RelResidualStd, ref.RelResidualStd},
+	} {
+		if math.Float64bits(c.fast) != math.Float64bits(c.refV) {
+			return fmt.Errorf("%s bits differ: engine %g (%x), oracle %g (%x)",
+				c.name, c.fast, math.Float64bits(c.fast), c.refV, math.Float64bits(c.refV))
+		}
+	}
+	return nil
+}
+
+// checkEquivalence runs both paths and demands identical outcomes —
+// errors included.
+func checkEquivalence(points []measurement.Point, values []float64, opts Options) error {
+	fast, fastErr := engineFit(points, values, opts)
+	ref, refErr := oracleFit(points, values, opts)
+	switch {
+	case fastErr == nil && refErr != nil:
+		return fmt.Errorf("engine fitted but oracle failed: %v", refErr)
+	case fastErr != nil && refErr == nil:
+		return fmt.Errorf("oracle fitted but engine failed: %v", fastErr)
+	case fastErr != nil:
+		if fastErr.Error() != refErr.Error() {
+			return fmt.Errorf("errors differ: engine %q, oracle %q", fastErr, refErr)
+		}
+		return nil
+	}
+	return sameModelBits(fast, ref)
+}
+
+func TestEngineMatchesOracleCanonical(t *testing.T) {
+	xs := []float64{2, 4, 6, 8, 10}
+	mk := func(f func(x float64) float64) ([]measurement.Point, []float64) {
+		points := make([]measurement.Point, len(xs))
+		values := make([]float64, len(xs))
+		for i, x := range xs {
+			points[i] = measurement.Point{x}
+			values[i] = f(x)
+		}
+		return points, values
+	}
+	cases := []struct {
+		name string
+		f    func(x float64) float64
+		opts Options
+	}{
+		{"constant", func(x float64) float64 { return 42 }, DefaultOptions()},
+		{"linear", func(x float64) float64 { return 3 + 2*x }, DefaultOptions()},
+		{"quadratic", func(x float64) float64 { return 1 + 0.5*x*x }, DefaultOptions()},
+		{"loglinear", func(x float64) float64 { return 5 + 3*x*math.Log2(x) }, DefaultOptions()},
+		{"noisy", func(x float64) float64 { return 10 + x*math.Sqrt(x) + math.Sin(x*7)*0.4 }, DefaultOptions()},
+		{"strongscaling", func(x float64) float64 { return 2 + 80/x }, StrongScalingOptions()},
+		{"twoterms", func(x float64) float64 { return 1 + 2*x + 0.3*x*x }, LargeOptions()},
+		{"smallspace", func(x float64) float64 { return 4 + x }, SmallOptions()},
+		{"decreasing-negcoef", func(x float64) float64 { return 100 - 3*x }, DefaultOptions()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			points, values := mk(tc.f)
+			if err := checkEquivalence(points, values, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineMatchesOracleMultiParam(t *testing.T) {
+	var points []measurement.Point
+	var values []float64
+	for _, p := range []float64{2, 4, 8, 16} {
+		for _, b := range []float64{32, 64, 128, 256} {
+			points = append(points, measurement.Point{p, b})
+			values = append(values, 3+0.5*p*math.Log2(p)+0.01*b+0.001*p*b)
+		}
+	}
+	if err := checkEquivalence(points, values, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkEquivalence(points, values, StrongScalingOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceOracleRoutesFit(t *testing.T) {
+	defer func(v bool) { forceOracle = v }(forceOracle)
+
+	points := points1D(2, 4, 6, 8, 10)
+	values := []float64{5, 9, 13, 17, 21}
+	forceOracle = false
+	fast, err := engineFit(points, values, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceOracle = true
+	viaFlag, err := engineFit(points, values, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameModelBits(fast, viaFlag); err != nil {
+		t.Fatalf("oracle flag changed the selected model: %v", err)
+	}
+}
+
+// TestPropEngineOracleEquivalence sweeps randomized single-parameter
+// datasets (noisy power laws, occasional log factors, decreasing
+// sequences, tie-heavy near-constant data) across the option presets and
+// demands bit-identical selection between engine and oracle.
+func TestPropEngineOracleEquivalence(t *testing.T) {
+	type eqCase struct {
+		kind   int // 0 weak-scaling noisy, 1 strong-scaling, 2 near-constant ties
+		a, c   float64
+		e      float64
+		noise  float64
+		optSel int
+	}
+	gen := propcheck.Gen[eqCase]{
+		Generate: func(r *propcheck.Rand) eqCase {
+			exps := []float64{0, 0.5, 1, 1.5, 2, 3}
+			return eqCase{
+				kind:   r.Intn(3),
+				a:      r.Float64Range(0, 50),
+				c:      r.Float64Range(0.05, 20),
+				e:      exps[r.Intn(len(exps))],
+				noise:  r.Float64Range(0, 0.1),
+				optSel: r.Intn(3),
+			}
+		},
+		Describe: func(c eqCase) string {
+			return fmt.Sprintf("{kind=%d y=%g+%g·x^%g noise=%g opts=%d}", c.kind, c.a, c.c, c.e, c.noise, c.optSel)
+		},
+	}
+	xs := []float64{2, 4, 8, 16, 32, 64}
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 60}, gen, func(c eqCase) error {
+		points := make([]measurement.Point, len(xs))
+		values := make([]float64, len(xs))
+		for i, x := range xs {
+			points[i] = measurement.Point{x}
+			switch c.kind {
+			case 0:
+				values[i] = c.a + c.c*math.Pow(x, c.e)
+			case 1:
+				values[i] = c.a + 1 + c.c/x
+			default:
+				values[i] = c.a + 1 // exactly constant: every shape ties
+			}
+			// Deterministic pseudo-noise derived from the case parameters —
+			// reproducible under propcheck replay.
+			values[i] *= 1 + c.noise*math.Sin(x*c.c+c.a)
+		}
+		var opts Options
+		switch c.optSel {
+		case 0:
+			opts = DefaultOptions()
+		case 1:
+			opts = StrongScalingOptions()
+		default:
+			opts = LargeOptions()
+		}
+		return checkEquivalence(points, values, opts)
+	})
+}
+
+// TestPropEngineOracleEquivalenceGrid does the same over randomized
+// two-parameter grids, exercising the shared sparse hypothesis search
+// (axis-line ranking, combination stage) on both paths.
+func TestPropEngineOracleEquivalenceGrid(t *testing.T) {
+	type gridCase struct {
+		a, cp, cb, cross float64
+		logp             bool
+	}
+	gen := propcheck.Gen[gridCase]{
+		Generate: func(r *propcheck.Rand) gridCase {
+			return gridCase{
+				a:     r.Float64Range(1, 20),
+				cp:    r.Float64Range(0.1, 5),
+				cb:    r.Float64Range(0.001, 0.1),
+				cross: r.Float64Range(0, 0.01),
+				logp:  r.Bool(),
+			}
+		},
+		Describe: func(c gridCase) string {
+			return fmt.Sprintf("{a=%g cp=%g cb=%g cross=%g logp=%v}", c.a, c.cp, c.cb, c.cross, c.logp)
+		},
+	}
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 12}, gen, func(c gridCase) error {
+		var points []measurement.Point
+		var values []float64
+		for _, p := range []float64{2, 4, 8, 16} {
+			for _, b := range []float64{32, 64, 128, 256} {
+				points = append(points, measurement.Point{p, b})
+				v := c.a + c.cp*p + c.cb*b + c.cross*p*b
+				if c.logp {
+					v += c.cp * math.Log2(p)
+				}
+				values = append(values, v)
+			}
+		}
+		return checkEquivalence(points, values, DefaultOptions())
+	})
+}
+
+// TestHatMatrixCVAgreesWithReplay pins the numerical agreement of the
+// cvHat strategy (hat-matrix-diagonal LOOCV from one full solve) with the
+// default fold-replay on well-conditioned data. The agreement is
+// tolerance-based, not bitwise — cvHat exists as groundwork for large-n
+// refits where O(n·k²) matters, and this test documents exactly how far
+// it may drift.
+func TestHatMatrixCVAgreesWithReplay(t *testing.T) {
+	opts := normalizeOptions(DefaultOptions())
+	opts.NonNegativeCoefficients = false // replay rejects per-fold signs; hat cannot see them
+	points := points1D(2, 4, 8, 16, 32, 64)
+	values := make([]float64, len(points))
+	for i, p := range points {
+		x := p[0]
+		values[i] = 3 + 2*x + 0.1*x*math.Log2(x)
+	}
+
+	replay := newFitContext(points, values, opts)
+	hat := newFitContext(points, values, opts)
+	hat.mode = cvHat
+
+	both, compared := 0, 0
+	for _, h := range hypothesesCached(1, opts) {
+		sr, okR := replay.crossValidate(h)
+		sh, okH := hat.crossValidate(h)
+		if okR != okH {
+			// Fold-singularity semantics legitimately differ (leverage → 1
+			// vs a singular fold solve); just require it to be rare.
+			continue
+		}
+		if !okR {
+			continue
+		}
+		both++
+		if relDiff := math.Abs(sr-sh) / (1 + math.Abs(sr)); relDiff > 1e-6 {
+			t.Fatalf("hypothesis %d: replay SMAPE %g vs hat SMAPE %g (rel diff %g)", both, sr, sh, relDiff)
+		}
+		compared++
+	}
+	if compared < 10 {
+		t.Fatalf("only %d hypotheses comparable — data unexpectedly degenerate", compared)
+	}
+}
+
+// TestSparseRankingTieBreakDeterministic exercises the explicit
+// shape-identity tie-break of the stage-1 ranking (ratedLess): with
+// exactly tied CV-SMAPE values the ranking no longer depends on the order
+// the exponent sets enumerated in.
+func TestSparseRankingTieBreakDeterministic(t *testing.T) {
+	shapes := []pmnf.Factor{
+		{PolyExp: 2, LogExp: 0},
+		{PolyExp: 0.5, LogExp: 1},
+		{PolyExp: 1, LogExp: 0},
+		{PolyExp: 0.5, LogExp: 0},
+		{PolyExp: 1, LogExp: 2},
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 4, 0, 3, 1},
+	}
+	var want []rated
+	for pi, perm := range perms {
+		rs := make([]rated, 0, len(shapes))
+		for _, idx := range perm {
+			rs = append(rs, rated{shape: shapes[idx], smape: 0.25}) // all tied
+		}
+		sort.SliceStable(rs, func(i, j int) bool { return ratedLess(rs[i], rs[j]) })
+		if pi == 0 {
+			want = rs
+			for i := 1; i < len(rs); i++ {
+				if ratedLess(rs[i], rs[i-1]) {
+					t.Fatalf("sorted order violates ratedLess at %d", i)
+				}
+			}
+			continue
+		}
+		for i := range rs {
+			if rs[i].shape != want[i].shape {
+				t.Fatalf("permutation %d: rank %d is %+v, want %+v — tie-break depends on insertion order",
+					pi, i, rs[i].shape, want[i].shape)
+			}
+		}
+	}
+}
+
+// TestSparseSelectionStableUnderExponentOrder drives the tie-break
+// end-to-end: reordering the exponent sets changes shape enumeration
+// order but must not change the selected model on tie-heavy data.
+func TestSparseSelectionStableUnderExponentOrder(t *testing.T) {
+	var points []measurement.Point
+	var values []float64
+	for _, p := range []float64{2, 4, 8, 16} {
+		for _, b := range []float64{32, 64, 128, 256} {
+			points = append(points, measurement.Point{p, b})
+			values = append(values, 7) // constant surface: maximal ties
+		}
+	}
+	fwd := DefaultOptions()
+	rev := DefaultOptions()
+	for i, j := 0, len(rev.PolyExponents)-1; i < j; i, j = i+1, j-1 {
+		rev.PolyExponents[i], rev.PolyExponents[j] = rev.PolyExponents[j], rev.PolyExponents[i]
+	}
+	m1, err1 := engineFit(points, values, fwd)
+	m2, err2 := engineFit(points, values, rev)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("outcome depends on exponent order: %v vs %v", err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	if err := sameModelBits(m1, m2); err != nil {
+		t.Fatalf("selection depends on exponent enumeration order: %v", err)
+	}
+}
+
+func TestAxisLineEdgeCases(t *testing.T) {
+	t.Run("fewer-than-three-line-points", func(t *testing.T) {
+		// Only two points share the minimum of parameter 1, so the axis
+		// line through parameter 0 has 2 < 3 points and the sparse search
+		// must fall back to the full set (pinned here via axisLine's
+		// return; the fallback branch is in sparseHypotheses).
+		points := []measurement.Point{{2, 32}, {4, 32}, {2, 64}, {4, 64}, {8, 64}}
+		values := []float64{1, 2, 3, 4, 5}
+		pts, vals := axisLine(points, values, 0)
+		if len(pts) != 2 || len(vals) != 2 {
+			t.Fatalf("axis line has %d points, want 2", len(pts))
+		}
+		// The full fit must still work through the fallback.
+		if _, err := engineFit(points, values, DefaultOptions()); err != nil {
+			t.Fatalf("fallback fit failed: %v", err)
+		}
+	})
+	t.Run("duplicate-configurations", func(t *testing.T) {
+		points := []measurement.Point{{2, 32}, {2, 32}, {4, 32}, {8, 32}, {16, 32}}
+		values := []float64{1.0, 1.1, 2, 3, 4}
+		pts, vals := axisLine(points, values, 0)
+		if len(pts) != 5 {
+			t.Fatalf("duplicates must stay on the line: got %d points, want 5", len(pts))
+		}
+		for i, v := range vals {
+			//edlint:ignore floateq values pass through axisLine unchanged; the test asserts exact identity
+			if v != values[i] {
+				t.Fatalf("value %d changed: %g != %g", i, v, values[i])
+			}
+		}
+	})
+	t.Run("single-distinct-value-parameter", func(t *testing.T) {
+		// Parameter 1 never varies: every point sits at its minimum, so
+		// the parameter-0 axis line is the whole set.
+		points := []measurement.Point{{2, 64}, {4, 64}, {8, 64}, {16, 64}, {32, 64}}
+		values := []float64{1, 2, 3, 4, 5}
+		pts, _ := axisLine(points, values, 0)
+		if len(pts) != len(points) {
+			t.Fatalf("axis line of a fixed parameter must keep all points: got %d, want %d", len(pts), len(points))
+		}
+		// The parameter-1 line keeps only the parameter-0 minimum.
+		pts, _ = axisLine(points, values, 1)
+		if len(pts) != 1 {
+			t.Fatalf("line through the constant parameter: got %d points, want 1", len(pts))
+		}
+	})
+}

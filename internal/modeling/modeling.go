@@ -4,6 +4,12 @@
 // fits the coefficients of every hypothesis by linear regression, and
 // selects the hypothesis with the smallest cross-validated symmetric mean
 // absolute percentage error (SMAPE).
+//
+// Since the design-matrix engine refactor, fitting runs on a per-task
+// fitContext (see fitcontext.go) that evaluates every basis term once per
+// configuration into cached columns and replays the per-fold solves from
+// them — bit-identical to the reference direct-solve oracle (oracle.go),
+// which survives behind the EDFIT_ORACLE flag for verification.
 package modeling
 
 import (
@@ -87,6 +93,47 @@ func LargeOptions() Options {
 	return o
 }
 
+// normalizeOptions resolves every zero-valued search-space knob to its
+// default in one place: MaxTerms ≤ 0 becomes 1, empty exponent sets take
+// the Extra-P defaults, and MinPoints 0 becomes
+// measurement.MinModelingPoints. (These blocks used to be duplicated
+// across Fit and its callers.)
+func normalizeOptions(opts Options) Options {
+	if opts.MaxTerms <= 0 {
+		opts.MaxTerms = 1
+	}
+	if len(opts.PolyExponents) == 0 || len(opts.LogExponents) == 0 {
+		def := DefaultOptions()
+		if len(opts.PolyExponents) == 0 {
+			opts.PolyExponents = def.PolyExponents
+		}
+		if len(opts.LogExponents) == 0 {
+			opts.LogExponents = def.LogExponents
+		}
+	}
+	if opts.MinPoints == 0 {
+		opts.MinPoints = measurement.MinModelingPoints
+	}
+	return opts
+}
+
+// EffectiveMinPoints returns MinPoints with the zero value resolved to
+// the paper's default of measurement.MinModelingPoints.
+func (o Options) EffectiveMinPoints() int {
+	if o.MinPoints == 0 {
+		return measurement.MinModelingPoints
+	}
+	return o.MinPoints
+}
+
+// Unset reports whether the options carry no explicit search space —
+// neither exponent sets nor a term budget — so callers substituting a
+// context-dependent default (e.g. strong-scaling exponents) know the
+// user left the space unconfigured.
+func (o Options) Unset() bool {
+	return len(o.PolyExponents) == 0 && o.MaxTerms == 0
+}
+
 // Model is a fitted performance model together with its quality statistics.
 type Model struct {
 	// Function is the selected PMNF instance.
@@ -152,83 +199,65 @@ var ErrMismatchedLengths = errors.New("modeling: points/values length mismatch")
 // aggregated observations. All points must have the same arity; the number
 // of distinct points must be at least Options.MinPoints (default 5).
 func Fit(points []measurement.Point, values []float64, opts Options) (*Model, error) {
-	if len(points) != len(values) {
-		return nil, fmt.Errorf("%w: %d points but %d values", ErrMismatchedLengths, len(points), len(values))
-	}
-	min := opts.MinPoints
-	if min == 0 {
-		min = measurement.MinModelingPoints
-	}
-	if len(points) < min {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewPoints, len(points), min)
-	}
-	arity := len(points[0])
-	for _, p := range points {
-		if len(p) != arity {
-			return nil, fmt.Errorf("modeling: mixed point arity %d vs %d", len(p), arity)
-		}
-	}
-	if arity == 0 {
-		return nil, errors.New("modeling: zero-arity points")
-	}
-	for _, p := range points {
-		for _, v := range p {
-			if v <= 0 {
-				return nil, fmt.Errorf("modeling: parameter value %v outside PMNF domain (must be > 0)", v)
-			}
-		}
-	}
-	if opts.MaxTerms <= 0 {
-		opts.MaxTerms = 1
-	}
-	if len(opts.PolyExponents) == 0 || len(opts.LogExponents) == 0 {
-		def := DefaultOptions()
-		if len(opts.PolyExponents) == 0 {
-			opts.PolyExponents = def.PolyExponents
-		}
-		if len(opts.LogExponents) == 0 {
-			opts.LogExponents = def.LogExponents
-		}
-	}
-
-	var hyps []hypothesis
-	if arity == 1 {
-		hyps = hypothesesCached(arity, opts)
-	} else {
-		// Multi-parameter sparse modeling: a full cross product of shape
-		// combinations is quadratic in the (large) shape set and makes
-		// model search orders of magnitude slower. Following Extra-P's
-		// sparse-modeling approach, first evaluate single-parameter
-		// hypotheses, then build combinations only from the best few
-		// shapes per parameter.
-		hyps = sparseHypotheses(arity, points, values, opts)
-	}
-	if len(hyps) == 0 {
-		return nil, ErrNoHypothesis
-	}
-	best, err := selectBest(points, values, hyps, opts)
+	f, err := NewFitter(points, values, opts)
 	if err != nil {
 		return nil, err
 	}
-	return best, nil
+	return f.Fit()
+}
+
+// FitSeries aggregates each sample of the series (median by default, mean
+// with Options.UseMean) and fits a model on the aggregated values.
+func FitSeries(s *measurement.Series, opts Options) (*Model, error) {
+	f, err := NewSeriesFitter(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Fit()
 }
 
 // sparseTopShapes is the number of best single-parameter shapes per
 // parameter that enter the combination stage of sparse modeling.
 const sparseTopShapes = 4
 
+// rated is one stage-1 ranking entry of the sparse search: a
+// single-parameter shape and its cross-validated SMAPE on the axis line.
+type rated struct {
+	shape pmnf.Factor
+	smape float64
+}
+
+// ratedLess orders stage-1 rankings: primarily by CV-SMAPE, with SMAPE
+// ties broken by shape identity (polynomial exponent, then log exponent).
+// The secondary key makes the former insertion-order tie-break explicit:
+// the top shapes of a tied rank no longer depend on the order the
+// exponent sets happened to enumerate in.
+func ratedLess(a, b rated) bool {
+	//edlint:ignore floateq tie detection: only exactly equal CV-SMAPE values fall through to the shape-identity key
+	if a.smape != b.smape {
+		return a.smape < b.smape
+	}
+	//edlint:ignore floateq shape identity: exponents come verbatim from the finite option sets, equality is exact
+	if a.shape.PolyExp != b.shape.PolyExp {
+		return a.shape.PolyExp < b.shape.PolyExp
+	}
+	return a.shape.LogExp < b.shape.LogExp
+}
+
+// cvRanker supplies, for one (points, values) dataset, the
+// cross-validation function used to rank hypotheses on it. The fit engine
+// and the reference oracle plug in their respective implementations so
+// sparse hypothesis generation is shared between them.
+type cvRanker func(points []measurement.Point, values []float64) func(hypothesis) (float64, bool)
+
 // sparseHypotheses implements the two-stage multi-parameter search: rank
 // every single-parameter shape by cross-validated SMAPE, then combine the
 // top shapes of each parameter pair additively, multiplicatively, and in
 // hybrid (term + cross-term) form.
-func sparseHypotheses(arity int, points []measurement.Point, values []float64, opts Options) []hypothesis {
+func sparseHypotheses(arity int, points []measurement.Point, values []float64, opts Options, ranker cvRanker) []hypothesis {
 	shapes := shapeSet(opts)
 
 	// Stage 1: evaluate single-parameter hypotheses.
-	type rated struct {
-		shape pmnf.Factor
-		smape float64
-	}
 	topPerParam := make([][]rated, arity)
 	var out []hypothesis
 	out = append(out, hypothesis{}) // constant
@@ -241,19 +270,20 @@ func sparseHypotheses(arity int, points []measurement.Point, values []float64, o
 		if len(linePts) < 3 {
 			linePts, lineVals = points, values
 		}
+		cv := ranker(linePts, lineVals)
 		var rs []rated
 		for _, s := range shapes {
 			f := s
 			f.Param = param
 			h := hypothesis{terms: []pmnf.Term{{Factors: []pmnf.Factor{f}}}}
 			out = append(out, h)
-			smape, ok := crossValidate(h, linePts, lineVals, opts)
+			smape, ok := cv(h)
 			if !ok {
 				continue
 			}
 			rs = append(rs, rated{shape: f, smape: smape})
 		}
-		sort.SliceStable(rs, func(i, j int) bool { return rs[i].smape < rs[j].smape })
+		sort.SliceStable(rs, func(i, j int) bool { return ratedLess(rs[i], rs[j]) })
 		if len(rs) > sparseTopShapes {
 			rs = rs[:sparseTopShapes]
 		}
@@ -383,32 +413,6 @@ func hypothesesCached(arity int, opts Options) []hypothesis {
 	return hyps
 }
 
-// FitSeries aggregates each sample of the series (median by default, mean
-// with Options.UseMean) and fits a model on the aggregated values.
-func FitSeries(s *measurement.Series, opts Options) (*Model, error) {
-	if s == nil {
-		return nil, errors.New("modeling: nil series")
-	}
-	sorted := *s
-	sorted.Sort()
-	points := sorted.Points()
-	values := make([]float64, len(points))
-	for i, sm := range sorted.Samples {
-		var v float64
-		var ok bool
-		if opts.UseMean {
-			v, ok = sm.Mean()
-		} else {
-			v, ok = sm.Median()
-		}
-		if !ok {
-			return nil, fmt.Errorf("modeling: sample at %s has no repetitions", sm.Point.Key())
-		}
-		values[i] = v
-	}
-	return Fit(points, values, opts)
-}
-
 // hypothesis is a candidate model shape: the basis terms without
 // coefficients. The constant basis is implicit.
 type hypothesis struct {
@@ -441,170 +445,30 @@ func hypotheses(arity int, opts Options) []hypothesis {
 	return out
 }
 
-// designMatrix builds the regression design matrix for a hypothesis: the
-// first column is the constant basis, followed by one column per term.
-func designMatrix(h hypothesis, points []measurement.Point) [][]float64 {
-	x := make([][]float64, len(points))
-	for r, p := range points {
-		row := make([]float64, 1+len(h.terms))
-		row[0] = 1
-		vals := []float64(p)
-		for c, term := range h.terms {
-			row[c+1] = term.EvalBasis(vals)
-		}
-		x[r] = row
+// validateFitInputs runs the shared precondition checks of every fit
+// entry point; opts must already be normalized.
+func validateFitInputs(points []measurement.Point, values []float64, opts Options) error {
+	if len(points) != len(values) {
+		return fmt.Errorf("%w: %d points but %d values", ErrMismatchedLengths, len(points), len(values))
 	}
-	return x
-}
-
-// fitHypothesis fits h's coefficients on (points, values) and returns the
-// resulting function, or an error when the regression is degenerate.
-func fitHypothesis(h hypothesis, points []measurement.Point, values []float64, opts Options) (*pmnf.Function, error) {
-	x := designMatrix(h, points)
-	for _, row := range x {
-		for _, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, errors.New("modeling: basis function undefined at a measurement point")
+	if len(points) < opts.MinPoints {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewPoints, len(points), opts.MinPoints)
+	}
+	arity := len(points[0])
+	for _, p := range points {
+		if len(p) != arity {
+			return fmt.Errorf("modeling: mixed point arity %d vs %d", len(p), arity)
+		}
+	}
+	if arity == 0 {
+		return errors.New("modeling: zero-arity points")
+	}
+	for _, p := range points {
+		for _, v := range p {
+			if v <= 0 {
+				return fmt.Errorf("modeling: parameter value %v outside PMNF domain (must be > 0)", v)
 			}
 		}
 	}
-	coef, err := mathutil.LeastSquares(x, values)
-	if err != nil {
-		return nil, err
-	}
-	fn := &pmnf.Function{Constant: coef[0]}
-	for i, term := range h.terms {
-		c := coef[i+1]
-		if opts.NonNegativeCoefficients && c < 0 {
-			return nil, errors.New("modeling: negative term coefficient rejected")
-		}
-		fn.Terms = append(fn.Terms, pmnf.Term{Coefficient: c, Factors: term.Factors})
-	}
-	return fn, nil
-}
-
-// crossValidate computes the leave-one-out SMAPE of hypothesis h: for every
-// point the model is refitted without it and asked to predict it.
-func crossValidate(h hypothesis, points []measurement.Point, values []float64, opts Options) (float64, bool) {
-	n := len(points)
-	preds := make([]float64, 0, n)
-	acts := make([]float64, 0, n)
-	subP := make([]measurement.Point, 0, n-1)
-	subV := make([]float64, 0, n-1)
-	for leave := 0; leave < n; leave++ {
-		subP = subP[:0]
-		subV = subV[:0]
-		for i := 0; i < n; i++ {
-			if i == leave {
-				continue
-			}
-			subP = append(subP, points[i])
-			subV = append(subV, values[i])
-		}
-		fn, err := fitHypothesis(h, subP, subV, opts)
-		if err != nil {
-			return 0, false
-		}
-		preds = append(preds, fn.EvalAt(points[leave]))
-		acts = append(acts, values[leave])
-	}
-	s, ok := mathutil.SMAPE(preds, acts)
-	return s, ok
-}
-
-// selectBest evaluates all hypotheses and returns the fitted model with the
-// smallest cross-validated SMAPE (ties broken by fewer terms, then lower
-// RSS).
-func selectBest(points []measurement.Point, values []float64, hyps []hypothesis, opts Options) (*Model, error) {
-	type candidate struct {
-		fn    *pmnf.Function
-		smape float64
-		rss   float64
-		terms int
-	}
-	var cands []candidate
-	for _, h := range hyps {
-		smape, ok := crossValidate(h, points, values, opts)
-		if !ok {
-			continue
-		}
-		fn, err := fitHypothesis(h, points, values, opts)
-		if err != nil {
-			continue
-		}
-		preds := make([]float64, len(points))
-		for i, p := range points {
-			preds[i] = fn.EvalAt(p)
-		}
-		rss, _ := mathutil.RSS(preds, values)
-		cands = append(cands, candidate{fn: fn, smape: smape, rss: rss, terms: len(fn.Terms)})
-	}
-	if len(cands) == 0 {
-		return nil, ErrNoHypothesis
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].smape < cands[j].smape {
-			return true
-		}
-		if cands[i].smape > cands[j].smape {
-			return false
-		}
-		if cands[i].terms != cands[j].terms {
-			return cands[i].terms < cands[j].terms
-		}
-		return cands[i].rss < cands[j].rss
-	})
-	// Occam selection: hypotheses whose cross-validated SMAPE is within
-	// the noise-level tolerance of the minimum are statistically
-	// indistinguishable on the modeling points; among them the
-	// slowest-growing one is preferred — a steep exponent that fits the
-	// noise a hair better would explode under extrapolation, exactly the
-	// failure mode empirical modeling must avoid. Two guard rails:
-	// the pure constant may win only by having the smallest SMAPE
-	// outright (flattening real growth through the tie-break would erase
-	// the scaling signal the tool exists to find), and on noise-free data
-	// the tolerance collapses to (nearly) zero so the best-fitting shape
-	// wins unchanged.
-	threshold := cands[0].smape + math.Max(0.05, 0.5*cands[0].smape)
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.smape > threshold {
-			break // sorted by smape: all following are worse
-		}
-		if len(c.fn.Terms) == 0 {
-			continue // never flatten to the constant via the tie-break
-		}
-		gc, gb := c.fn.Growth(), best.fn.Growth()
-		if cmp := gc.Compare(gb); cmp < 0 || (cmp == 0 && c.terms < best.terms) {
-			best = c
-		}
-	}
-
-	preds := make([]float64, len(points))
-	for i, p := range points {
-		preds[i] = best.fn.EvalAt(p)
-	}
-	r2, okR2 := mathutil.RSquared(preds, values)
-	if !okR2 {
-		r2 = math.NaN()
-	}
-	// Relative residual spread for prediction intervals.
-	var rel []float64
-	for i := range preds {
-		if values[i] != 0 {
-			rel = append(rel, (preds[i]-values[i])/values[i])
-		}
-	}
-	relStd, _ := mathutil.StdDev(rel)
-
-	model := &Model{
-		Function:       best.fn,
-		SMAPE:          best.smape,
-		RSS:            best.rss,
-		R2:             r2,
-		RelResidualStd: relStd,
-		Points:         points,
-		Actual:         append([]float64(nil), values...),
-	}
-	return model, nil
+	return nil
 }

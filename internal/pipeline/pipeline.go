@@ -220,7 +220,7 @@ func New(cfg Config) *Pipeline {
 	if cfg.Observer == nil {
 		cfg.Observer = nopObserver{}
 	}
-	if len(cfg.Modeling.PolyExponents) == 0 && cfg.Modeling.MaxTerms == 0 {
+	if cfg.Modeling.Unset() {
 		cfg.Modeling = modeling.DefaultOptions()
 	}
 	return &Pipeline{cfg: cfg, obs: cfg.Observer}

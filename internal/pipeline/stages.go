@@ -262,6 +262,12 @@ func (p *Pipeline) BuildModels(ctx context.Context, aggs []*aggregate.ConfigAggr
 // panics (from injection or the modeling code itself) quarantine the
 // task instead of aborting the pool; unmodelable series keep their
 // historical silent skip. Completed tasks checkpoint incrementally.
+//
+// Each task constructs its own modeling.Fitter — the design-matrix
+// engine context that caches the task's basis columns across the whole
+// hypothesis search. The context lives and dies inside this worker
+// goroutine, so tasks share nothing mutable; checkpoint content keys
+// (fitTaskKey) cover only the task inputs and are unaffected.
 func (p *Pipeline) fitOne(ctx context.Context, i int, t fitTask, plan *ckptPlan, w *ckptWriter, models []*modeling.Model, failures []*FitFailure) (err error) {
 	quarantine := func(class, reason string) {
 		failures[i] = &FitFailure{Metric: string(t.metric), Callpath: t.path, App: t.app, Class: class, Reason: reason}
@@ -280,7 +286,11 @@ func (p *Pipeline) fitOne(ctx context.Context, i int, t fitTask, plan *ckptPlan,
 		}
 		return ierr
 	}
-	m, ferr := modeling.FitSeries(t.series, p.cfg.Modeling)
+	fitter, ferr := modeling.NewSeriesFitter(t.series, p.cfg.Modeling)
+	var m *modeling.Model
+	if ferr == nil {
+		m, ferr = fitter.Fit()
+	}
 	if ferr != nil {
 		quarantine(FailureUnmodelable, ferr.Error())
 		return nil

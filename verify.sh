@@ -17,12 +17,14 @@ class="build"
 cover_current=""
 lint_bin=""
 lint_cache=""
+fit_bin=""
 
 cleanup() {
 	code=$?
 	[ -n "$cover_current" ] && rm -f "$cover_current"
 	[ -n "$lint_bin" ] && rm -f "$lint_bin"
 	[ -n "$lint_cache" ] && rm -rf "$lint_cache"
+	[ -n "$fit_bin" ] && rm -f "$fit_bin"
 	if [ "$code" -ne 0 ]; then
 		echo "verify.sh: FAILED stage=$stage class=$class" >&2
 	fi
@@ -156,6 +158,26 @@ fi
 if [ "$lint_warm" -gt 5 ]; then
 	class="budget-exceeded"
 	echo "edlint-bench: warm run exceeded the 5s budget (${lint_warm}s) — the incremental cache is not hitting; profile with 'go test -bench BenchmarkLintRepoWarm ./internal/lint'" >&2
+	exit 1
+fi
+
+# fit-bench: the design-matrix fit engine is the hot path of the whole
+# analysis; a perf regression there silently eats the 3x speedup the
+# engine exists for. A 3-iteration BenchmarkParallelFit smoke run must
+# build and finish inside a 60-second budget (the full 30x trajectory
+# lives in BENCH_pipeline.json). A build failure fails the stage as
+# class=build via the compile step below.
+begin fit-bench-build build "go test -c (fit-bench smoke binary)"
+fit_bin=$(mktemp)
+go test -c -o "$fit_bin" .
+begin fit-bench test "BenchmarkParallelFit -benchtime 3x (60s budget)"
+fit_start=$(date +%s)
+"$fit_bin" -test.run '^$' -test.bench BenchmarkParallelFit -test.benchtime 3x
+fit_elapsed=$(($(date +%s) - fit_start))
+echo "fit-bench: smoke run finished in ${fit_elapsed}s"
+if [ "$fit_elapsed" -gt 60 ]; then
+	class="budget-exceeded"
+	echo "fit-bench: smoke run exceeded the 60s budget (${fit_elapsed}s) — the fit engine regressed; profile with 'go test -bench BenchmarkParallelFit -cpuprofile cpu.out .'" >&2
 	exit 1
 fi
 
