@@ -470,6 +470,7 @@ func BenchmarkParallelFit(b *testing.B) {
 		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
 			opts := core.DefaultOptions()
 			opts.Workers = jobs
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuildModels(aggs, setup, opts); err != nil {
 					b.Fatal(err)

@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,59 +79,67 @@ type jsonSummaryBody struct {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	analyzersSpec := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
-	runSpec := flag.String("run", "", "alias for -analyzers (kept for compatibility)")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	jsonOut := flag.Bool("json", false, "print findings as JSON Lines plus a final summary object")
-	cacheDir := flag.String("cachedir", lint.DefaultCacheDir(), "incremental cache directory (empty disables caching)")
-	noCache := flag.Bool("nocache", false, "disable the incremental cache for this run")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: edlint [-analyzers names] [-list] [-json] [-cachedir dir] [-nocache] [patterns ...]")
-		flag.PrintDefaults()
+// run is the testable entry point: flags are parsed from args into a
+// private FlagSet and all output goes through the writers, so the CLI
+// contract (exit codes, the unknown-analyzer message) is pinned by tests
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzersSpec := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	runSpec := fs.String("run", "", "alias for -analyzers (kept for compatibility)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print findings as JSON Lines plus a final summary object")
+	cacheDir := fs.String("cachedir", lint.DefaultCacheDir(), "incremental cache directory (empty disables caching)")
+	noCache := fs.Bool("nocache", false, "disable the incremental cache for this run")
+	fs.Usage = func() {
+		sayln(stderr, "usage: edlint [-analyzers names] [-list] [-json] [-cachedir dir] [-nocache] [patterns ...]")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	spec := *analyzersSpec
 	if spec == "" {
 		spec = *runSpec
 	} else if *runSpec != "" && *runSpec != spec {
-		fmt.Fprintln(os.Stderr, "edlint: -run and -analyzers are aliases; set only one")
+		sayln(stderr, "edlint: -run and -analyzers are aliases; set only one")
 		return 2
 	}
 	analyzers, err := lint.Select(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sayln(stderr, err)
 		return 2
 	}
 	if *list {
 		for _, a := range lint.DefaultAnalyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			sayf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sayln(stderr, err)
 		return 2
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sayln(stderr, err)
 		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	filter, err := packageFilter(root, cwd, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sayln(stderr, err)
 		return 2
 	}
 
@@ -141,11 +150,11 @@ func run() int {
 		NoCache:   *noCache || *cacheDir == "",
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sayln(stderr, err)
 		return 2
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	byAnalyzer := make(map[string]int)
 	for _, d := range diags {
 		byAnalyzer[d.Analyzer]++
@@ -161,12 +170,12 @@ func run() int {
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
 			}); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				sayln(stderr, err)
 				return 2
 			}
 			continue
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		sayf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
 	if *jsonOut {
 		if err := enc.Encode(jsonSummary{Summary: jsonSummaryBody{
@@ -178,15 +187,26 @@ func run() int {
 			StdCache:      stats.StdCache,
 			FindingsCache: stats.FindingsCache,
 		}}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			sayln(stderr, err)
 			return 2
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "edlint: %d finding(s)\n", len(diags))
+		sayf(stderr, "edlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// sayf and sayln write best-effort console output: a console write error
+// has no useful recovery in a CLI, so the results are deliberately
+// dropped (and errcheck knows these helpers by shape).
+func sayf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func sayln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
 }
 
 // packageFilter compiles go-style directory patterns into a package

@@ -1,0 +1,56 @@
+package lint
+
+import "go/ast"
+
+// AllocLoop is the flagship of the perf analyzer family: it reports
+// per-iteration heap allocations inside the loops of designated hot
+// functions — direct make/new/composite-literal/intrinsic sites, and
+// calls whose interprocedural summary says the callee allocates per
+// call, rendered with the full trace to the root allocation site
+// ("fitOne ← evalTerm ← make([]float64, …)"). Hot callees are skipped
+// at the call site: their own bodies yield the finding exactly once.
+//
+// The amortized-growth idioms the fit engine is built on (grow-to-cap
+// loops, cap-guarded makes, [:0] reuse buffers) and cold exit paths
+// (returns, panics) are exempt — see allocflow.go — so the analyzer
+// polices steady-state allocation behaviour, not buffer warm-up.
+var AllocLoop = &Analyzer{
+	Name: "allocloop",
+	Doc: "reports per-iteration heap allocations in designated hot loops " +
+		"(//edlint:hotpath directives plus the policed fit-engine default set), " +
+		"including transitively-allocating calls with an interprocedural trace " +
+		"to the root allocation site",
+	Run: runAllocLoop,
+}
+
+func runAllocLoop(pass *Pass) {
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		reportStrayHotpath(pass, file)
+		eachTopFunc(file, func(fd *ast.FuncDecl) {
+			if !isHotFunc(pass, fd) {
+				return
+			}
+			for _, site := range allocScan(pass, fd) {
+				if !site.inLoop {
+					continue
+				}
+				switch site.kind {
+				case allocMake, allocNew, allocLit, allocIntrinsic:
+					pass.Reportf(site.pos,
+						"%s allocates on every iteration of a hot loop in %s%s; hoist it out of the loop or reuse a scratch buffer, or suppress with //edlint:ignore allocloop <reason>",
+						site.desc, funcDisplay(pass, fd), hotLoopSuffix(pass, fd))
+				case allocCall:
+					if site.sum.Hot {
+						continue // the callee polices its own body
+					}
+					pass.Reportf(site.pos,
+						"call to %s allocates on every iteration of a hot loop (%s); hoist the call, pass a reusable buffer, or sanction the source with //edlint:ignore allocloop <reason> — which clears every caller",
+						site.sum.Display, hotDisplayPath(pass, fd, site))
+				}
+			}
+		})
+	}
+}

@@ -10,7 +10,10 @@ import (
 // the set the self-check test and cmd/edlint enforce over the repository.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
+		AllocLoop,
+		BoxIface,
 		CtxFlow,
+		DeferHot,
 		DivGuard,
 		ErrCheck,
 		FloatEq,
@@ -18,6 +21,7 @@ func DefaultAnalyzers() []*Analyzer {
 		LogDomain,
 		MapOrder,
 		NaNInOut,
+		PreAlloc,
 		SendGuard,
 		WallClock,
 	}

@@ -1,0 +1,49 @@
+package lint
+
+import "go/ast"
+
+// BoxIface reports scalar-to-interface conversions inside hot loops:
+// explicit any(x)/interface{}(x) conversions, basic-typed arguments
+// passed into interface parameters (the fmt sink pattern — every
+// fmt.Sprintf("%d", i) in a fold loop boxes the int per iteration), and
+// calls whose interprocedural summary says the callee boxes, rendered
+// with the trace to the root conversion. Cold exit paths (error returns,
+// panics) are exempt; hot callees report their own bodies.
+var BoxIface = &Analyzer{
+	Name: "boxiface",
+	Doc: "reports scalar-to-interface boxing in designated hot loops, " +
+		"including fmt sink arguments and transitively-boxing calls with an " +
+		"interprocedural trace to the conversion site",
+	Run: runBoxIface,
+}
+
+func runBoxIface(pass *Pass) {
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		eachTopFunc(file, func(fd *ast.FuncDecl) {
+			if !isHotFunc(pass, fd) {
+				return
+			}
+			for _, site := range allocScan(pass, fd) {
+				if !site.inLoop {
+					continue
+				}
+				switch site.kind {
+				case allocBox:
+					pass.Reportf(site.pos,
+						"%s on every iteration of a hot loop in %s%s; format outside the loop, use a typed sink, or suppress with //edlint:ignore boxiface <reason>",
+						site.desc, funcDisplay(pass, fd), hotLoopSuffix(pass, fd))
+				case allocBoxCall:
+					if site.sum.Hot {
+						continue // the callee polices its own body
+					}
+					pass.Reportf(site.pos,
+						"call to %s boxes a scalar into an interface on every iteration of a hot loop (%s); sanction the source with //edlint:ignore boxiface <reason> — which clears every caller — or move the conversion out of the loop",
+						site.sum.Display, hotDisplayPath(pass, fd, site))
+				}
+			}
+		})
+	}
+}

@@ -348,7 +348,9 @@ type findingsFile struct {
 
 // findingsKey fingerprints everything the diagnostics depend on: the
 // cache format, the toolchain, the analyzing executable, the module root
-// and its full .go/go.mod content, and the analyzer suite. Content
+// and its full .go/go.mod content, the analyzer suite, and the hot-path
+// default table the perf analyzers police (//edlint:hotpath directives
+// live in file content and are covered by the content hash). Content
 // hashes, not mtimes: touching a file without changing it keeps the key,
 // and reverting an edit restores it.
 func findingsKey(root string, analyzers []*Analyzer) (string, error) {
@@ -366,6 +368,7 @@ func findingsKey(root string, analyzers []*Analyzer) (string, error) {
 	}
 	sort.Strings(names)
 	fmt.Fprintf(h, "analyzers %s\n", strings.Join(names, ","))
+	fmt.Fprintf(h, "hotpaths %s\n", hotPathDefaultsDigest())
 	if err := hashModuleContent(h, root); err != nil {
 		return "", err
 	}

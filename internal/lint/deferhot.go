@@ -1,0 +1,38 @@
+package lint
+
+import "go/ast"
+
+// DeferHot reports defer statements inside the loop bodies of designated
+// hot functions: each iteration allocates a defer record that only runs
+// at function exit, so a defer-per-iteration both leaks resources until
+// the function returns and adds a per-iteration allocation. The fix is
+// to hoist the defer out of the loop or wrap the loop body in its own
+// function whose exit runs the defer.
+var DeferHot = &Analyzer{
+	Name: "deferhot",
+	Doc: "reports defer statements inside hot loop bodies; each iteration " +
+		"allocates a defer record that runs only at function exit — hoist the " +
+		"defer or wrap the loop body in its own function",
+	Run: runDeferHot,
+}
+
+func runDeferHot(pass *Pass) {
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		eachTopFunc(file, func(fd *ast.FuncDecl) {
+			if !isHotFunc(pass, fd) {
+				return
+			}
+			for _, site := range allocScan(pass, fd) {
+				if site.kind != allocDefer || !site.inLoop {
+					continue
+				}
+				pass.Reportf(site.pos,
+					"%s inside a hot loop body in %s%s runs only at function exit and allocates a defer record per iteration; hoist it or wrap the loop body in its own function, or suppress with //edlint:ignore deferhot <reason>",
+					site.desc, funcDisplay(pass, fd), hotLoopSuffix(pass, fd))
+			}
+		})
+	}
+}

@@ -48,6 +48,12 @@ func TestGolden(t *testing.T) {
 		// the full default suite, so every analyzer name is "known".
 		{"ignore", "fixture/ignore", DefaultAnalyzers()},
 		{"ignorescope", "fixture/ignorescope", DefaultAnalyzers()},
+		// The perf-family single-package fixtures designate hot functions
+		// with //edlint:hotpath directives; allocloop's cross-package
+		// fixture module has its own test below.
+		{"prealloc", "fixture/prealloc", []*Analyzer{PreAlloc}},
+		{"boxiface", "fixture/boxiface", []*Analyzer{BoxIface}},
+		{"deferhot", "fixture/deferhot", []*Analyzer{DeferHot}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -148,6 +154,43 @@ func TestGoldenInterproc(t *testing.T) {
 	} {
 		if strings.Contains(got, fp) {
 			t.Errorf("sanitized helper %s appears in a finding; the summary pass must not flag it:\n%s", fp, got)
+		}
+	}
+}
+
+// TestGoldenAllocLoop loads the perf-family module fixture under
+// testdata/src/allocloop with LoadModule — the laundered make lives two
+// packages away from the hot loop, so cross-package summaries need the
+// whole module — and runs allocloop over it. Beyond the byte-exact golden
+// it asserts the v4 contract directly: the fitContext methods are hot by
+// the policed default set with no directive in the fixture's hot package,
+// at least one finding renders the full interprocedural "←" trace to the
+// root allocation site, the stray-directive police fires, and none of the
+// sanctioned shapes (source-suppressed helper, amortized reuse, site
+// suppression, undesignated cold function) leak a false positive.
+func TestGoldenAllocLoop(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "allocloop"))
+	if err != nil {
+		t.Fatalf("LoadModule(allocloop): %v", err)
+	}
+	got := formatDiags(Run(mod, []*Analyzer{AllocLoop}, nil))
+	compareGolden(t, "allocloop", got)
+
+	if !strings.Contains(got, "fitContext.fitOne ← helpers.EvalTerm ← helpers.newBuf ← make([]float64, n)") {
+		t.Errorf("no interprocedural allocloop trace to the root make in the allocloop fixture:\n%s", got)
+	}
+	if !strings.Contains(got, "stray //edlint:hotpath directive") {
+		t.Errorf("the unanchored //edlint:hotpath directive was not reported as stray:\n%s", got)
+	}
+	for _, fp := range []string{
+		"helpers.Scratch",    // allocation sanctioned at the source
+		"fitContext.seed",    // hot caller of the sanctioned source
+		"fitContext.recycle", // cap-guard + [:0] reset-reuse idioms
+		"fitContext.retune",  // site-level suppression with a reason
+		"coldSetup",          // same shape, not designated hot
+	} {
+		if strings.Contains(got, fp) {
+			t.Errorf("sanctioned shape %s appears in a finding; the perf family must not flag it:\n%s", fp, got)
 		}
 	}
 }

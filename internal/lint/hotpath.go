@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Hot-path designation: the perf analyzer family (allocloop, prealloc,
+// boxiface, deferhot) reports only inside functions designated *hot* —
+// the fit engine's inner loops, where a single stray allocation
+// multiplies by hypotheses × folds × tasks. Two designation channels
+// exist, mirroring wallclock's policed-package list but at function
+// granularity:
+//
+//   - //edlint:hotpath as (part of) a function's doc comment marks that
+//     one declaration hot, wherever it lives. Optional trailing text is
+//     a free-form reason. A hotpath comment that is not the doc comment
+//     of a function declaration is itself a diagnostic (reported by
+//     allocloop), so a directive drifting away from its function fails
+//     the lint instead of silently policing nothing.
+//   - hotPathDefaults below names the policed core: the functions every
+//     fit task funnels through. An entry matches by package-path suffix
+//     plus the function's display name ("fitContext.prepare"), with a
+//     "Recv.*" wildcard covering every method of a receiver type.
+//
+// Hotness deliberately does NOT propagate to transitive callees: a hot
+// caller invoking a cold helper in a loop is the *caller's* finding
+// (rendered with the interprocedural trace into the helper), while a
+// hot callee reports its own body exactly once. This is the same
+// single-report contract wallclock keeps across policed packages.
+
+// hotPathDirective is the function-level hot marker, written as
+// //edlint:hotpath [reason] in a declaration's doc comment.
+const hotPathDirective = "edlint:hotpath"
+
+// hotPathDefault designates hot functions by (package suffix, display
+// name) pattern. A pattern "T.*" matches every method of receiver T; any
+// other pattern matches the display name exactly.
+type hotPathDefault struct {
+	pkg     string
+	pattern string
+}
+
+// hotPathDefaults is the policed default set: the design-matrix engine's
+// per-hypothesis/per-fold paths and the worker plumbing that drives
+// them. Every function here runs O(hypotheses × folds) or more per fit
+// task, so an allocation inside is never noise.
+var hotPathDefaults = []hotPathDefault{
+	// The fit engine context: column prep, per-fold solves, selection.
+	{"internal/modeling", "fitContext.*"},
+	{"internal/modeling", "Fitter.Fit"},
+	{"internal/modeling", "modeling.newFitContext"},
+	{"internal/modeling", "modeling.sharedBasis"},
+	{"internal/modeling", "modeling.basisSignature"},
+	// Basis-column evaluation: every factor/term touch of every fit.
+	{"internal/pmnf", "ColumnSet.*"},
+	{"internal/pmnf", "pmnf.TermProduct"},
+	{"internal/pmnf", "Factor.Eval"},
+	{"internal/pmnf", "Term.Eval"},
+	{"internal/pmnf", "Term.EvalBasis"},
+	{"internal/pmnf", "Function.Eval"},
+	{"internal/pmnf", "Function.EvalAt"},
+	// The worker pool's fan-out and the per-task fit driver.
+	{"internal/pipeline", "pipeline.forEach"},
+	{"internal/pipeline", "Pipeline.fitOne"},
+	// The solver each fold lands in, and the fit-quality scorers called
+	// once per hypothesis.
+	{"internal/mathutil", "mathutil.SolveLinearSystem"},
+	{"internal/mathutil", "mathutil.SolveLinearSystemInto"},
+	{"internal/mathutil", "SolveWorkspace.grow"},
+	{"internal/mathutil", "mathutil.SMAPE"},
+	{"internal/mathutil", "mathutil.RSS"},
+}
+
+// hotByDefault reports whether the (unit path, display name) pair is in
+// the policed default set. The test-unit suffix is ignored so in-package
+// test units police the same declarations.
+func hotByDefault(path, display string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, d := range hotPathDefaults {
+		if !strings.HasSuffix(path, d.pkg) {
+			continue
+		}
+		if recv, ok := strings.CutSuffix(d.pattern, ".*"); ok {
+			if strings.HasPrefix(display, recv+".") {
+				return true
+			}
+			continue
+		}
+		if display == d.pattern {
+			return true
+		}
+	}
+	return false
+}
+
+// hotByDirective reports whether fd's doc comment carries the
+// //edlint:hotpath marker.
+func hotByDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+hotPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotFunc reports whether the declaration is a designated hot path in
+// this analysis unit, by directive or by default set.
+func isHotFunc(pass *Pass, fd *ast.FuncDecl) bool {
+	return hotByDirective(fd) || hotByDefault(pass.Path, funcDisplay(pass, fd))
+}
+
+// reportStrayHotpath flags //edlint:hotpath comments that are not the
+// doc comment of a function declaration — they designate nothing and
+// usually mean the directive drifted away from its function. Reported
+// under allocloop (the family's flagship) so the ordinary suppression
+// machinery applies.
+func reportStrayHotpath(pass *Pass, file *ast.File) {
+	anchored := make(map[*ast.Comment]bool)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				anchored[c] = true
+			}
+		}
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//"+hotPathDirective) && !anchored[c] {
+				pass.Reportf(c.Pos(),
+					"stray //edlint:hotpath directive: it must be (part of) a function declaration's doc comment to designate that function hot")
+			}
+		}
+	}
+}
+
+// hotPathDefaultsDigest canonicalizes the policed default set into a
+// short stable hash for the findings-cache key: editing the table above
+// must invalidate cached findings exactly like editing a source file.
+// (//edlint:hotpath directives live in file content and are already
+// covered by the content hash.)
+func hotPathDefaultsDigest() string {
+	entries := make([]string, 0, len(hotPathDefaults))
+	for _, d := range hotPathDefaults {
+		entries = append(entries, d.pkg+"\x00"+d.pattern)
+	}
+	sort.Strings(entries)
+	h := sha256.New()
+	for _, e := range entries {
+		fmt.Fprintf(h, "%s\n", e)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// PreAlloc reports appends that grow a slice inside a hot range loop
+// when the capacity is statically derivable from the ranged operand —
+// the make(T, 0, len(xs)) fix is mechanical and removes the O(log n)
+// reallocation-and-copy chain from the loop. Appends to reuse buffers
+// ([:0] resets), capacity-planned targets (3-arg make) and grow-to-cap
+// loops are exempt: they are the fix, not the finding.
+var PreAlloc = &Analyzer{
+	Name: "prealloc",
+	Doc: "reports append-grown slices in hot range loops whose capacity is " +
+		"statically derivable from the ranged operand; preallocate with " +
+		"make(…, 0, len(operand)) before the loop",
+	Run: runPreAlloc,
+}
+
+func runPreAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		eachTopFunc(file, func(fd *ast.FuncDecl) {
+			if !isHotFunc(pass, fd) {
+				return
+			}
+			for _, site := range allocScan(pass, fd) {
+				if site.kind != allocAppend || !site.inLoop || site.rangeCap == "" {
+					continue
+				}
+				if site.target == site.rangeOperand {
+					continue // growing the operand itself; capacity is moot
+				}
+				pass.Reportf(site.pos,
+					"append grows %s inside a hot range over %s in %s%s; preallocate with make(…, 0, %s) before the loop, or suppress with //edlint:ignore prealloc <reason>",
+					site.target, site.rangeOperand, funcDisplay(pass, fd), hotLoopSuffix(pass, fd), site.rangeCap)
+			}
+		})
+	}
+}

@@ -16,9 +16,13 @@ import (
 // randomized edit histories over a copy of the interproc fixture module
 // and checks the two invariants the cache must never lose:
 //
-//  1. Parity — warm findings are byte-identical to the cold reference
-//     after every mutation (the mutations are comment-only, so the
-//     reference never changes while every edit changes the content key).
+//  1. Parity — warm findings are byte-identical to the matching cold
+//     reference after every mutation. Touch/edit/revert mutations are
+//     comment-only, so they change content keys without changing
+//     findings; the hotpath-toggle mutation flips a //edlint:hotpath
+//     directive on report/perf.go, so the expected findings switch
+//     between the pristine and the directive reference — a directive-only
+//     edit is semantically real and must never be served a stale answer.
 //  2. Key discipline — a run is a findings-cache hit exactly when the
 //     module's content state has been linted before: touching a file
 //     (same bytes, fresh mtime) keeps the hit, an unseen edit forces a
@@ -31,12 +35,20 @@ var fixtureSourceFiles = []string{
 	"internal/modeling/modeling.go",
 	"internal/pipeline/pipeline.go",
 	"report/report.go",
+	"report/perf.go",
 }
+
+// perfFixtureFile is the file whose hot-path directive the toggle
+// mutation flips; hotToggleLine is the inserted doc-comment line.
+const (
+	perfFixtureFile = "report/perf.go"
+	hotToggleLine   = "//edlint:hotpath toggled by the cache propcheck\n"
+)
 
 // cacheMutation is one step of an edit history.
 type cacheMutation struct {
-	op   int // 0 touch, 1 edit (append a unique comment), 2 revert
-	file int // index into fixtureSourceFiles
+	op   int // 0 touch, 1 edit (append a unique comment), 2 revert, 3 toggle hotpath
+	file int // index into fixtureSourceFiles (op 3 always targets perf.go)
 }
 
 // cacheHistory is one generated case.
@@ -45,13 +57,16 @@ type cacheHistory struct {
 }
 
 func cacheHistoryGen() propcheck.Gen[cacheHistory] {
-	opNames := []string{"touch", "edit", "revert"}
+	opNames := []string{"touch", "edit", "revert", "hotpath"}
 	return propcheck.Gen[cacheHistory]{
 		Generate: func(r *propcheck.Rand) cacheHistory {
 			n := r.IntRange(1, 3)
 			muts := make([]cacheMutation, n)
 			for i := range muts {
-				muts[i] = cacheMutation{op: r.Intn(3), file: r.Intn(len(fixtureSourceFiles))}
+				muts[i] = cacheMutation{op: r.Intn(4), file: r.Intn(len(fixtureSourceFiles))}
+				if muts[i].op == 3 {
+					muts[i].file = fixtureFileIndex(perfFixtureFile)
+				}
 			}
 			return cacheHistory{muts: muts}
 		},
@@ -73,19 +88,39 @@ func cacheHistoryGen() propcheck.Gen[cacheHistory] {
 	}
 }
 
-// TestPropLintCacheParity: for any short history of touch/edit/revert
-// mutations, every cached run reproduces the cold reference findings
-// byte-for-byte, and the findings-cache hit/miss state equals "this exact
-// content state was linted before". One std bundle is primed up front and
-// shared, so each miss re-checks only the five-package fixture module.
+// fixtureFileIndex resolves a fixture path to its mutation index.
+func fixtureFileIndex(rel string) int {
+	for i, f := range fixtureSourceFiles {
+		if f == rel {
+			return i
+		}
+	}
+	panic("unknown fixture file " + rel)
+}
+
+// withHotDirective inserts the toggle directive into perf.go's pristine
+// content, as the last line of BuildLabels' doc comment.
+func withHotDirective(pristine []byte) []byte {
+	return []byte(strings.Replace(string(pristine),
+		"func BuildLabels", hotToggleLine+"func BuildLabels", 1))
+}
+
+// TestPropLintCacheParity: for any short history of touch/edit/revert/
+// hotpath-toggle mutations, every cached run reproduces the matching cold
+// reference findings byte-for-byte, and the findings-cache hit/miss state
+// equals "this exact content state was linted before". One std bundle is
+// primed up front and shared, so each miss re-checks only the fixture
+// module itself.
 func TestPropLintCacheParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("lints a module per mutation; skipped in -short")
 	}
 	cacheDir := t.TempDir()
 
-	// The cold reference, computed once: comment-only mutations never
-	// change findings, only content keys. The same run primes the bundle.
+	// Two cold references, computed once: comment-only mutations never
+	// change findings, and the hotpath toggle switches between exactly
+	// these two content states of perf.go. The first run primes the
+	// bundle.
 	refRoot := copyFixtureModule(t)
 	refDiags, _, err := Lint(refRoot, Options{CacheDir: cacheDir})
 	if err != nil {
@@ -94,6 +129,27 @@ func TestPropLintCacheParity(t *testing.T) {
 	reference := formatDiags(refDiags)
 	if reference == "" {
 		t.Fatal("fixture module produced no findings; the property needs a non-empty reference")
+	}
+
+	hotRoot := copyFixtureModule(t)
+	hotPerf := filepath.Join(hotRoot, filepath.FromSlash(perfFixtureFile))
+	pristinePerf, err := os.ReadFile(hotPerf)
+	if err != nil {
+		t.Fatalf("reading %s: %v", hotPerf, err)
+	}
+	if err := os.WriteFile(hotPerf, withHotDirective(pristinePerf), 0o644); err != nil {
+		t.Fatalf("writing hot perf.go: %v", err)
+	}
+	hotDiags, _, err := Lint(hotRoot, Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("hot reference run: %v", err)
+	}
+	hotReference := formatDiags(hotDiags)
+	if hotReference == reference {
+		t.Fatal("the //edlint:hotpath toggle changed no findings; the directive oracle is vacuous")
+	}
+	if !strings.Contains(hotReference, "prealloc:") {
+		t.Fatalf("the directive reference lacks the expected prealloc finding:\n%s", hotReference)
 	}
 
 	editSerial := 0
@@ -116,6 +172,18 @@ func TestPropLintCacheParity(t *testing.T) {
 		}
 
 		seen := map[string]bool{}
+		// expected picks the reference matching the current directive
+		// state of perf.go: the findings oracle, not just the key oracle.
+		expected := func() (string, error) {
+			cur, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(perfFixtureFile)))
+			if err != nil {
+				return "", err
+			}
+			if strings.Contains(string(cur), strings.TrimSpace(hotToggleLine)) {
+				return hotReference, nil
+			}
+			return reference, nil
+		}
 		runAndCheck := func(step string, wantHit bool) error {
 			diags, stats, err := Lint(root, Options{CacheDir: cacheDir})
 			if err != nil {
@@ -128,9 +196,13 @@ func TestPropLintCacheParity(t *testing.T) {
 			if stats.FindingsCache != want {
 				return fmt.Errorf("%s: findings cache %s, want %s", step, stats.FindingsCache, want)
 			}
-			if got := formatDiags(diags); got != reference {
-				return fmt.Errorf("%s: findings diverge from the cold reference\n--- got ---\n%s--- want ---\n%s",
-					step, got, reference)
+			ref, err := expected()
+			if err != nil {
+				return err
+			}
+			if got := formatDiags(diags); got != ref {
+				return fmt.Errorf("%s: findings diverge from the cold reference for this directive state\n--- got ---\n%s--- want ---\n%s",
+					step, got, ref)
 			}
 			return nil
 		}
@@ -174,6 +246,18 @@ func TestPropLintCacheParity(t *testing.T) {
 				if err := os.WriteFile(abs, pristine[rel], 0o644); err != nil {
 					return err
 				}
+			case 3: // toggle the //edlint:hotpath directive on perf.go
+				cur, err := os.ReadFile(abs)
+				if err != nil {
+					return err
+				}
+				next := withHotDirective(pristine[rel])
+				if strings.Contains(string(cur), strings.TrimSpace(hotToggleLine)) {
+					next = pristine[rel]
+				}
+				if err := os.WriteFile(abs, next, 0o644); err != nil {
+					return err
+				}
 			}
 			fp, err := state()
 			if err != nil {
@@ -202,6 +286,64 @@ func moduleStateFingerprint(root string) (string, error) {
 		_, _ = fmt.Fprintf(h, "%s\x00%x\n", rel, sha256.Sum256(data))
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TestPropPerfAnalyzersParity pins the determinism contract of the perf
+// analyzer family over the allocloop fixture module: findings — traces
+// included — are byte-identical between a sequential load (Workers: 1)
+// and a parallel load at any worker count, and between a cold
+// findings-cache run and the warm hit that follows it. The summaries
+// behind the traces are computed bottom-up over SCCs, so this is the
+// property that the fixpoint order never leaks into output.
+func TestPropPerfAnalyzersParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the fixture module per iteration; skipped in -short")
+	}
+	perf := []*Analyzer{AllocLoop, BoxIface, DeferHot, PreAlloc}
+	root := filepath.Join("testdata", "src", "allocloop")
+
+	seqMod, _, err := LoadModuleWith(root, LoadOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential load: %v", err)
+	}
+	seq := formatDiags(Run(seqMod, perf, nil))
+	if !strings.Contains(seq, "←") {
+		t.Fatalf("the sequential reference lacks an interprocedural trace; the parity check would be vacuous:\n%s", seq)
+	}
+
+	propcheck.CheckConfig(t, propcheck.Config{Iterations: 6}, propcheck.IntRange(2, 8), func(workers int) error {
+		mod, _, err := LoadModuleWith(root, LoadOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("load with %d workers: %w", workers, err)
+		}
+		if got := formatDiags(Run(mod, perf, nil)); got != seq {
+			return fmt.Errorf("findings at %d workers diverge from the sequential load\n--- got ---\n%s--- want ---\n%s",
+				workers, got, seq)
+		}
+		return nil
+	})
+
+	cacheDir := t.TempDir()
+	cold, coldStats, err := Lint(root, Options{CacheDir: cacheDir, Analyzers: perf})
+	if err != nil {
+		t.Fatalf("cold cached run: %v", err)
+	}
+	if coldStats.FindingsCache != "miss" {
+		t.Fatalf("cold run findings cache = %s, want miss", coldStats.FindingsCache)
+	}
+	warm, warmStats, err := Lint(root, Options{CacheDir: cacheDir, Analyzers: perf})
+	if err != nil {
+		t.Fatalf("warm cached run: %v", err)
+	}
+	if warmStats.FindingsCache != "hit" {
+		t.Fatalf("warm run findings cache = %s, want hit", warmStats.FindingsCache)
+	}
+	if got := formatDiags(cold); got != seq {
+		t.Errorf("cold cached findings diverge from the sequential load\n--- got ---\n%s--- want ---\n%s", got, seq)
+	}
+	if got := formatDiags(warm); got != seq {
+		t.Errorf("warm cached findings diverge from the sequential load\n--- got ---\n%s--- want ---\n%s", got, seq)
+	}
 }
 
 // copyTree copies a directory tree (used by the property, which cannot

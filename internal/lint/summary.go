@@ -69,6 +69,11 @@ type FuncSummary struct {
 	// HasCtxParam reports whether the function receives a context.Context
 	// (parameter or receiver).
 	HasCtxParam bool
+	// Hot marks a designated hot path (//edlint:hotpath directive or the
+	// policed default set). Hot callees report their own bodies, so the
+	// perf analyzers skip call-site findings into them — the same
+	// single-report contract wallclock keeps across policed packages.
+	Hot bool
 
 	// ReadsClock: calls time.Now/Since/Until, directly or transitively.
 	ReadsClock *EffectTrace
@@ -92,6 +97,22 @@ type FuncSummary struct {
 	// performs a channel send outside any select on that parameter
 	// (directly or by passing it along to a callee that does).
 	BareSendParams map[int]*EffectTrace
+
+	// AllocatesPerCall: performs a heap allocation (make/new, escaping
+	// composite literal, or an allocating stdlib intrinsic) on some path
+	// of every call, directly or transitively. Amortized idioms
+	// (grow-to-cap loops, cap-guarded makes, [:0] reuse) and cold exit
+	// paths are excluded — see allocflow.go.
+	AllocatesPerCall *EffectTrace
+	// GrowsSlice: performs a non-amortized append that may reallocate,
+	// directly or transitively.
+	GrowsSlice *EffectTrace
+	// BoxesToInterface: converts or passes a scalar into an interface
+	// (fmt sinks included), directly or transitively.
+	BoxesToInterface *EffectTrace
+	// CapturesByClosure: builds a variable-capturing function literal
+	// (a heap-allocated closure), directly or transitively.
+	CapturesByClosure *EffectTrace
 }
 
 // SummaryTable holds every function summary of one module, keyed by
@@ -168,6 +189,7 @@ func Summarize(mod *Module) *SummaryTable {
 				Display:     n.display,
 				Pkg:         n.pkg.Path,
 				HasCtxParam: declHasContextParam(n.pkg, n.decl),
+				Hot:         hotByDirective(n.decl) || hotByDefault(n.pkg.Path, n.display),
 			}
 		}
 		for {
@@ -242,6 +264,11 @@ func (s *summarizer) recompute(n *funcNode) bool {
 	set(&sum.DropsContext, s.dropsContextTrace(pass, n))
 	set(&sum.SpawnsDetached, s.spawnsDetachedTrace(pass, n))
 	set(&sum.DiscardsError, s.discardsErrorTrace(pass, n))
+	alloc, grow, box, closure := s.allocEffects(pass, n)
+	set(&sum.AllocatesPerCall, alloc)
+	set(&sum.GrowsSlice, grow)
+	set(&sum.BoxesToInterface, box)
+	set(&sum.CapturesByClosure, closure)
 	if s.mergeBareSends(pass, n, sum) {
 		changed = true
 	}

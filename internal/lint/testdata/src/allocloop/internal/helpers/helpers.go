@@ -1,0 +1,30 @@
+// Package helpers is the cold support package of the allocloop fixture:
+// nothing here is a hot path, so its allocating helpers become findings
+// only at designated hot call sites, through the summary traces.
+package helpers
+
+// EvalTerm evaluates one term into a fresh result slice. The allocation
+// is laundered through newBuf, one more frame down — hot callers must see
+// the full trace to the root make.
+func EvalTerm(row []float64) []float64 {
+	out := newBuf(len(row))
+	for i, v := range row {
+		out[i] = v * v
+	}
+	return out
+}
+
+// newBuf is the root allocation site two frames below the hot loop. The
+// make sits in the body's top-level return — the normal result path, not
+// a cold early exit — so it counts toward the per-call summary.
+func newBuf(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Scratch allocates by design: the suppression at the source clears every
+// caller, hot or cold, in one sanctioned place.
+func Scratch(n int) []float64 {
+	//edlint:ignore allocloop scratch lives for the whole campaign; one call per task, never per iteration
+	buf := make([]float64, n)
+	return buf
+}

@@ -1,0 +1,81 @@
+// Package boxiface is a fixture for the boxiface analyzer: scalars
+// converted or passed into interfaces inside hot loops — the fmt sink
+// pattern and explicit any(x) conversions. Hotness comes from
+// //edlint:hotpath directives.
+package boxiface
+
+import "fmt"
+
+// Labels renders one label per value: the float argument is boxed into
+// Sprintf's variadic interface parameter on every iteration.
+//
+//edlint:hotpath per-candidate label rendering
+func Labels(xs []float64) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%.3f", x)) // boxes x per iteration
+	}
+	return out
+}
+
+// Widen stores each scalar through an explicit interface conversion.
+//
+//edlint:hotpath mirrors the residual accumulator
+func Widen(xs []float64, sink []any) {
+	for i, x := range xs {
+		sink[i] = any(x) // explicit per-iteration boxing
+	}
+}
+
+// describe builds one diagnostic label; the boxing happens here, and hot
+// call sites report it with the interprocedural trace to this conversion.
+func describe(x float64) string {
+	return fmt.Sprintf("x=%g", x)
+}
+
+// Score calls the boxing helper per iteration: reported with the trace
+// through describe down to the fmt sink argument.
+//
+//edlint:hotpath per-candidate scoring loop
+func Score(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if len(describe(x)) > 4 { // laundered boxing, one frame down
+			n++
+		}
+	}
+	return n
+}
+
+// Announce keeps a sanctioned fmt sink: the banner prints once per epoch,
+// far off the per-fit path.
+//
+//edlint:hotpath epoch boundary sweep
+func Announce(epochs []int) {
+	for _, e := range epochs {
+		//edlint:ignore boxiface the banner prints once per epoch; this loop is epochs, not fits
+		fmt.Println("epoch", e)
+	}
+}
+
+// Forward passes an existing interface value along: nothing new is boxed,
+// so no finding.
+//
+//edlint:hotpath pass-through sink
+func Forward(vals []any) {
+	for _, v := range vals {
+		fmt.Println(v)
+	}
+}
+
+// coldLabels is the Labels shape without a hot designation: silent.
+func coldLabels(xs []float64) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%.3f", x))
+	}
+	return out
+}
+
+// use keeps coldLabels reachable for the type checker.
+var _ = coldLabels

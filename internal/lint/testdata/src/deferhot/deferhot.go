@@ -1,0 +1,78 @@
+// Package deferhot is a fixture for the deferhot analyzer: defer
+// statements inside hot loop bodies allocate a defer record per iteration
+// and run only at function exit, leaking the deferred resource until the
+// loop ends. Hotness comes from //edlint:hotpath directives.
+package deferhot
+
+import "sync"
+
+// SumLocked locks per row but unlocks only at function exit: the defer
+// records pile up and the lock is never released between iterations.
+//
+//edlint:hotpath per-fold accumulation
+func SumLocked(mu *sync.Mutex, rows [][]float64) float64 {
+	total := 0.0
+	for _, row := range rows {
+		mu.Lock()
+		defer mu.Unlock() // runs at exit, not per iteration
+		total += row[0]
+	}
+	return total
+}
+
+// HoistedLock takes the lock once around the loop — the fix, no finding.
+//
+//edlint:hotpath hoisted-lock accumulation
+func HoistedLock(mu *sync.Mutex, rows [][]float64) float64 {
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0.0
+	for _, row := range rows {
+		total += row[0]
+	}
+	return total
+}
+
+// WrappedBody runs the defer inside a per-iteration function whose exit
+// is the iteration's end — the other sanctioned fix shape.
+//
+//edlint:hotpath wrapped-body accumulation
+func WrappedBody(mu *sync.Mutex, rows [][]float64) float64 {
+	total := 0.0
+	for _, row := range rows {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+			total += row[0]
+		}()
+	}
+	return total
+}
+
+// Recovering keeps a sanctioned per-row recover guard: crash isolation is
+// the point, and the reason records it.
+//
+//edlint:hotpath crash-isolation sweep
+func Recovering(rows [][]float64) (bad int) {
+	for _, row := range rows {
+		//edlint:ignore deferhot one recover guard per row is the crash-isolation contract of the sweep
+		defer func() {
+			if recover() != nil {
+				bad++
+			}
+		}()
+		_ = row
+	}
+	return bad
+}
+
+// coldDefer is the SumLocked shape without a hot designation: silent.
+func coldDefer(mu *sync.Mutex, rows [][]float64) {
+	for range rows {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+
+// use keeps coldDefer reachable for the type checker.
+var _ = coldDefer

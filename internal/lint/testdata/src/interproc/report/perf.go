@@ -1,0 +1,17 @@
+// The cache propcheck toggles a //edlint:hotpath directive on BuildLabels
+// between runs: with the directive, the append-in-loop below becomes a
+// prealloc finding; without it, the perf family stays silent. A
+// directive-only edit must therefore change both the findings-cache key
+// and the findings themselves.
+package report
+
+// BuildLabels collects one label per row. Not designated hot in the
+// pristine fixture; the propcheck inserts the directive above this
+// declaration.
+func BuildLabels(rows [][]float64) []string {
+	var labels []string
+	for range rows {
+		labels = append(labels, "row")
+	}
+	return labels
+}

@@ -1,0 +1,99 @@
+// Package prealloc is a fixture for the prealloc analyzer: appends that
+// grow a slice inside hot range loops where the capacity is statically
+// derivable from the ranged operand, so the make(…, 0, len(xs)) fix is
+// mechanical. Hotness comes from //edlint:hotpath directives — this
+// fixture has no policed default path.
+package prealloc
+
+// Firsts collects the leading value of every row; the append reallocates
+// O(log n) times even though len(rows) bounds the result exactly.
+//
+//edlint:hotpath per-task projection in the demo pipeline
+func Firsts(rows [][]float64) []float64 {
+	var firsts []float64
+	for _, row := range rows {
+		firsts = append(firsts, row[0]) // grows toward a known capacity
+	}
+	return firsts
+}
+
+// Squares ranges an integer: the count itself is the capacity.
+//
+//edlint:hotpath per-epoch schedule build
+func Squares(n int) []int {
+	var out []int
+	for i := range n {
+		out = append(out, i*i) // capacity is the ranged count
+	}
+	return out
+}
+
+// Planned preallocates with a 3-arg make: the append never grows the
+// buffer in steady state, so no finding — this is the fix shape.
+//
+//edlint:hotpath the fixed Firsts
+func Planned(rows [][]float64) []float64 {
+	firsts := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		firsts = append(firsts, row[0])
+	}
+	return firsts
+}
+
+// Recycled appends into a [:0] reset buffer — explicit reuse, no finding.
+//
+//edlint:hotpath reuse-buffer projection
+func Recycled(buf []float64, rows [][]float64) []float64 {
+	out := buf[:0]
+	for _, row := range rows {
+		out = append(out, row[0])
+	}
+	return out
+}
+
+// SelfGrow appends the ranged operand to itself: the final length is not
+// derivable from the operand, so suggesting len(xs) would be wrong.
+//
+//edlint:hotpath doubling sweep
+func SelfGrow(xs []float64) []float64 {
+	for _, x := range xs {
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// GrowToCap is the canonical scratch grower; amortized by design, exempt.
+//
+//edlint:hotpath scratch warm-up
+func GrowToCap(xs []float64, n int) []float64 {
+	for len(xs) < n {
+		xs = append(xs, 0)
+	}
+	return xs
+}
+
+// Filtered keeps a sanctioned append: most rows are dropped, so
+// preallocating len(rows) would waste memory on the common path.
+//
+//edlint:hotpath outlier filter in the demo pipeline
+func Filtered(rows [][]float64) [][]float64 {
+	var kept [][]float64
+	for _, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		//edlint:ignore prealloc the kept set is a tiny fraction of rows; preallocating len(rows) wastes memory
+		kept = append(kept, row)
+	}
+	return kept
+}
+
+// ColdCollect has the exact Firsts shape without a hot designation; the
+// perf family stays silent off the hot paths.
+func ColdCollect(rows [][]float64) []float64 {
+	var firsts []float64
+	for _, row := range rows {
+		firsts = append(firsts, row[0])
+	}
+	return firsts
+}

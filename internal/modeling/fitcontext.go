@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -110,34 +108,139 @@ type fitContext struct {
 // columns and determinism is unaffected. The cache is capped; beyond the
 // cap tasks simply fall back to private lazy columns.
 var (
-	basisCache sync.Map // basis key → map[pmnf.Factor][]float64
+	basisCache sync.Map // basisSig → *basisEntry
 	basisCount atomic.Int32
 )
 
 const basisCacheCap = 256
 
-// basisKey canonicalizes the row contents and the shape signature.
-func basisKey(rows [][]float64, opts Options) string {
-	var b strings.Builder
+// basisSig is the shared-basis cache key: a two-lane FNV-1a content
+// hash over the row bits and exponent signature, plus the row/arity
+// counts. It replaced a canonical-string key that built a multi-kilobyte
+// string per fit task — the single largest allocation on the fit path
+// (allocloop's first repo finding). The hash itself is not trusted for
+// equality: lookups verify the stored content byte-for-byte (see
+// basisEntry.matches), so even a 128-bit collision cannot cross-seed
+// columns between tasks — it only degrades the task to private columns.
+type basisSig struct {
+	h1, h2   uint64
+	n, arity int
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// basisSignature hashes the row contents and the exponent sets into a
+// basisSig, allocation-free.
+func basisSignature(rows [][]float64, opts Options) basisSig {
+	h1 := uint64(fnvOffset64)
+	h2 := uint64(fnvOffset64) ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			b := uint64(byte(v >> s))
+			h1 = (h1 ^ b) * fnvPrime64
+			h2 = (h2 ^ b) * fnvPrime64
+		}
+	}
 	for _, row := range rows {
 		for _, v := range row {
-			b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
-			b.WriteByte(',')
+			mix(math.Float64bits(v))
 		}
-		b.WriteByte(';')
+		mix(uint64(len(row)))
 	}
-	b.WriteByte('#')
-	b.WriteString(exponentsKey(opts))
-	return b.String()
+	for _, e := range opts.PolyExponents {
+		mix(math.Float64bits(e))
+	}
+	mix(uint64(len(opts.PolyExponents)))
+	for _, e := range opts.LogExponents {
+		mix(uint64(e))
+	}
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	return basisSig{h1: h1, h2: h2, n: len(rows), arity: arity}
+}
+
+// basisEntry pairs the published factor columns with a verbatim copy of
+// the keyed content, so lookups verify real equality instead of trusting
+// the hash.
+type basisEntry struct {
+	flat []float64 // row-major copy of the keyed rows
+	lens []int     // per-row arity (points are uniform, but verify anyway)
+	poly []float64
+	logE []int
+	cols map[pmnf.Factor][]float64
+}
+
+// matches reports whether the entry was keyed by exactly these rows and
+// exponent sets, comparing float content bit for bit.
+func (e *basisEntry) matches(rows [][]float64, opts Options) bool {
+	if len(e.lens) != len(rows) || len(e.poly) != len(opts.PolyExponents) || len(e.logE) != len(opts.LogExponents) {
+		return false
+	}
+	k := 0
+	for i, row := range rows {
+		if e.lens[i] != len(row) {
+			return false
+		}
+		for _, v := range row {
+			if math.Float64bits(e.flat[k]) != math.Float64bits(v) {
+				return false
+			}
+			k++
+		}
+	}
+	for i, v := range opts.PolyExponents {
+		if math.Float64bits(e.poly[i]) != math.Float64bits(v) {
+			return false
+		}
+	}
+	for i, v := range opts.LogExponents {
+		if e.logE[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// newBasisEntry copies the keyed content (a one-time cost per cache
+// entry, bounded by basisCacheCap) alongside the computed columns.
+func newBasisEntry(rows [][]float64, opts Options, cols map[pmnf.Factor][]float64) *basisEntry {
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	e := &basisEntry{
+		flat: make([]float64, 0, total),
+		lens: make([]int, len(rows)),
+		poly: append([]float64(nil), opts.PolyExponents...),
+		logE: append([]int(nil), opts.LogExponents...),
+		cols: cols,
+	}
+	for i, row := range rows {
+		e.lens[i] = len(row)
+		e.flat = append(e.flat, row...)
+	}
+	return e
 }
 
 // sharedBasis returns the immutable shared factor columns for the given
 // rows and options, computing and publishing them on first use. It
-// returns nil when the cache is full.
+// returns nil when the cache is full or on the (astronomically unlikely)
+// hash collision, in which case the task falls back to private lazy
+// columns — a pure slowdown, never a correctness change, since columns
+// are pure functions of the rows.
 func sharedBasis(rows [][]float64, opts Options) map[pmnf.Factor][]float64 {
-	key := basisKey(rows, opts)
-	if v, ok := basisCache.Load(key); ok {
-		return v.(map[pmnf.Factor][]float64)
+	sig := basisSignature(rows, opts)
+	if v, ok := basisCache.Load(sig); ok {
+		e := v.(*basisEntry)
+		if e.matches(rows, opts) {
+			return e.cols
+		}
+		return nil
 	}
 	if basisCount.Load() >= basisCacheCap {
 		return nil
@@ -152,7 +255,7 @@ func sharedBasis(rows [][]float64, opts Options) map[pmnf.Factor][]float64 {
 			shared[f] = cs.FactorColumn(f)
 		}
 	}
-	if _, loaded := basisCache.LoadOrStore(key, shared); !loaded {
+	if _, loaded := basisCache.LoadOrStore(sig, newBasisEntry(rows, opts, shared)); !loaded {
 		basisCount.Add(1)
 	}
 	return shared
@@ -329,7 +432,7 @@ func (fc *fitContext) fitHypothesis(h hypothesis) (*pmnf.Function, error) {
 	if err != nil {
 		return nil, err
 	}
-	fn := &pmnf.Function{Constant: coefs[0]}
+	fn := &pmnf.Function{Constant: coefs[0], Terms: make([]pmnf.Term, 0, len(h.terms))}
 	for i, term := range h.terms {
 		c := coefs[i+1]
 		if fc.opts.NonNegativeCoefficients && c < 0 {
@@ -473,7 +576,7 @@ func (fc *fitContext) selectBest(hyps []hypothesis) (*Model, error) {
 	for len(fc.fullPreds) < n {
 		fc.fullPreds = append(fc.fullPreds, 0)
 	}
-	var cands []candidate
+	cands := make([]candidate, 0, len(hyps))
 	for _, h := range hyps {
 		smape, ok := fc.crossValidate(h)
 		if !ok {
@@ -539,7 +642,7 @@ func (fc *fitContext) selectBest(hyps []hypothesis) (*Model, error) {
 		r2 = math.NaN()
 	}
 	// Relative residual spread for prediction intervals.
-	var rel []float64
+	rel := make([]float64, 0, len(preds))
 	for i := range preds {
 		if fc.values[i] != 0 {
 			rel = append(rel, (preds[i]-fc.values[i])/fc.values[i])
