@@ -71,11 +71,15 @@ type modelFile struct {
 	Kernel map[measurement.Metric]map[string]savedModel `json:"kernel"`
 }
 
-// SaveModels writes a model set to a JSON file, so an expensive modeling
-// campaign's results can be reused for predictions without re-profiling.
-func SaveModels(path string, ms *ModelSet) error {
+// EncodeModels canonically serializes a model set into the persisted
+// model-file JSON (sorted keys via encoding/json's map ordering, stable
+// field order), so two identical model sets always encode to identical
+// bytes. SaveModels writes exactly these bytes; edserve's /models
+// endpoint returns them, which is what makes API-path versus batch-path
+// fit parity byte-comparable.
+func EncodeModels(ms *ModelSet) ([]byte, error) {
 	if ms == nil {
-		return errors.New("core: nil model set")
+		return nil, errors.New("core: nil model set")
 	}
 	mf := modelFile{
 		Version: modelFileVersion,
@@ -94,7 +98,17 @@ func SaveModels(path string, ms *ModelSet) error {
 	}
 	data, err := json.MarshalIndent(mf, "", "  ")
 	if err != nil {
-		return fmt.Errorf("core: encoding models: %w", err)
+		return nil, fmt.Errorf("core: encoding models: %w", err)
+	}
+	return data, nil
+}
+
+// SaveModels writes a model set to a JSON file, so an expensive modeling
+// campaign's results can be reused for predictions without re-profiling.
+func SaveModels(path string, ms *ModelSet) error {
+	data, err := EncodeModels(ms)
+	if err != nil {
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("core: writing models: %w", err)

@@ -209,6 +209,16 @@ func loadFile(path, format string) (*profile.Profile, Stage, error) {
 	if err != nil {
 		return nil, StageRead, err
 	}
+	return DecodeBytes(data, format)
+}
+
+// DecodeBytes decodes and validates one profile held in memory,
+// classifying any failure with the same read/decode/validate stages
+// LoadDir uses for on-disk files. It is the validation entry point for
+// callers that receive profile bytes over a transport (edserve uploads)
+// rather than from the filesystem: a rejected upload carries the exact
+// stage a directory ingestion would have quarantined it under.
+func DecodeBytes(data []byte, format string) (*profile.Profile, Stage, error) {
 	if format == "json" {
 		var p profile.Profile
 		if err := json.Unmarshal(data, &p); err != nil {
@@ -312,15 +322,60 @@ func (r *Report) Gate(opts Options) error {
 	return nil
 }
 
-// aggregate joins the given errors with one error per quarantined file
-// into a single multi-error.
-func (r *Report) aggregate(errs ...error) error {
-	all := make([]error, 0, len(errs)+len(r.Quarantined))
-	all = append(all, errs...)
-	for _, q := range r.Quarantined {
+// GateError is the structured form of a gate refusal: the surviving set
+// is not modelable, and the error names why (per-application refusals)
+// plus every quarantined file with its typed loading stage. Historically
+// this was an opaque errors.Join whose per-file stage classification
+// survived only as text once callers wrapped it; the typed Quarantined
+// field keeps the classification reachable through any number of
+// fmt.Errorf("%w") wrappers via errors.As, so transports (edserve) can
+// map quarantine stages to distinct error bodies. The rendered text is
+// identical to the historical errors.Join output.
+type GateError struct {
+	// Refusals are the gate's own errors: the no-usable-profiles refusal
+	// or one modelability refusal per application below the minimum.
+	Refusals []error
+	// Quarantined are the excluded files, in file-name order, each with
+	// its typed Stage (read / decode / validate).
+	Quarantined []Quarantined
+}
+
+// Error renders one line per refusal and per quarantined file, matching
+// errors.Join's layout.
+func (e *GateError) Error() string {
+	var b strings.Builder
+	for i, err := range e.Refusals {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(err.Error())
+	}
+	for i, q := range e.Quarantined {
+		if i > 0 || len(e.Refusals) > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(q.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes every refusal and quarantine entry to errors.Is/As.
+func (e *GateError) Unwrap() []error {
+	all := make([]error, 0, len(e.Refusals)+len(e.Quarantined))
+	all = append(all, e.Refusals...)
+	for _, q := range e.Quarantined {
 		all = append(all, q)
 	}
-	return errors.Join(all...)
+	return all
+}
+
+// aggregate builds the gate's structured multi-error from its own
+// refusals plus one entry per quarantined file.
+func (r *Report) aggregate(errs ...error) error {
+	return &GateError{
+		Refusals:    append([]error(nil), errs...),
+		Quarantined: append([]Quarantined(nil), r.Quarantined...),
+	}
 }
 
 // Summary renders the quarantine outcome for terminal output; it is empty

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -363,5 +364,109 @@ func TestCSVQuarantineCarriesPathAndLine(t *testing.T) {
 	}
 	if !strings.Contains(q.Err.Error(), "non-finite") {
 		t.Errorf("error does not explain the non-finite value: %v", q.Err)
+	}
+}
+
+// TestGateErrorStructured pins the satellite fix of the edserve PR: the
+// lenient-mode aggregate gate error must surface its per-file stage
+// classification structurally — a typed GateError with typed Quarantined
+// entries — and keep it reachable after callers wrap the error, instead
+// of flattening the stages into text.
+func TestGateErrorStructured(t *testing.T) {
+	dir, _ := writeCampaign(t, "json")
+	// Three distinct failure stages in one campaign: a garbage file
+	// (decode), a NaN metric (validate), and an unreadable duplicate-free
+	// set is covered elsewhere; destroying both x8 repetitions drops the
+	// campaign below the 5-configuration minimum so the gate refuses.
+	if _, err := faults.CorruptFile(filepath.Join(dir, "cifar10.x8.mpi0.r1.json"), faults.Garbage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.CorruptFile(filepath.Join(dir, "cifar10.x8.mpi0.r2.json"), faults.NegativeDuration); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadDir(dir, "json", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateErr := rep.Gate(Options{})
+	if gateErr == nil {
+		t.Fatal("gate accepted a 4-configuration campaign")
+	}
+
+	// A caller wrapping the error (the CLI and edserve both do) must not
+	// lose the structure.
+	wrapped := fmt.Errorf("extradeep: %w", gateErr)
+	var ge *GateError
+	if !errors.As(wrapped, &ge) {
+		t.Fatal("wrapped gate error is not errors.As-reachable as *GateError")
+	}
+	if len(ge.Refusals) != 1 {
+		t.Errorf("got %d refusals, want 1: %v", len(ge.Refusals), ge.Refusals)
+	}
+	stages := map[Stage]int{}
+	for _, q := range ge.Quarantined {
+		stages[q.Stage]++
+	}
+	if stages[StageDecode] != 1 || stages[StageValidate] != 1 {
+		t.Errorf("per-file stages lost: got %v, want 1 decode + 1 validate", stages)
+	}
+
+	// The rendered text must stay byte-identical to the historical
+	// errors.Join layout (one line per refusal, then per file).
+	join := errors.Join(ge.Unwrap()...)
+	if gateErr.Error() != join.Error() {
+		t.Errorf("GateError text diverged from errors.Join:\n got: %q\nwant: %q", gateErr.Error(), join.Error())
+	}
+	// Individual Quarantined entries stay reachable too.
+	var q Quarantined
+	if !errors.As(wrapped, &q) {
+		t.Error("wrapped gate error hides Quarantined from errors.As")
+	}
+}
+
+// TestDecodeBytesStageClassification pins the in-memory validation entry
+// point edserve uses for uploads: the stage classification must match
+// what LoadDir reports for the same bytes on disk.
+func TestDecodeBytesStageClassification(t *testing.T) {
+	valid := fixtureProfile(2, 0, 1)
+	data, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := DecodeBytes(data, "json"); err != nil || p.App != "cifar10" {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		kind   faults.Kind
+		format string
+		want   Stage
+	}{
+		{"garbage json", faults.Garbage, "json", StageDecode},
+		{"truncated json", faults.Truncate, "json", StageDecode},
+		{"nan metric csv", faults.NaNMetric, "csv", StageValidate},
+		{"missing header csv", faults.MissingHeader, "csv", StageDecode},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := data
+			if tc.format == "csv" {
+				var b bytes.Buffer
+				if err := importer.WriteCSV(&b, valid); err != nil {
+					t.Fatal(err)
+				}
+				raw = b.Bytes()
+			}
+			bad, err := faults.Apply(tc.kind, raw, tc.format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, stage, err := DecodeBytes(bad, tc.format)
+			if err == nil {
+				t.Fatal("corrupted bytes decoded cleanly")
+			}
+			if stage != tc.want {
+				t.Errorf("stage = %v, want %v (err: %v)", stage, tc.want, err)
+			}
+		})
 	}
 }

@@ -17,6 +17,9 @@ var ctxPolicedPackages = []string{
 	// by design, WallClock timers) the pipeline's cancellation contract
 	// now runs through.
 	"internal/resilience",
+	// serve spawns the per-application fit loops; every goroutine must
+	// observe the server lifecycle context.
+	"internal/serve",
 }
 
 // CtxFlow enforces context propagation in the concurrency core. In the

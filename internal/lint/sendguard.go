@@ -17,6 +17,9 @@ var sendGuardPolicedPackages = []string{
 	// timer channels behind Clock; the same acquire/release discipline
 	// applies.
 	"internal/resilience",
+	// serve holds the store/app mutexes and the campaign semaphore; both
+	// disciplines (deferred unlock, cancellable sends) apply.
+	"internal/serve",
 }
 
 // SendGuard enforces the acquire-paired-with-deferred-release discipline

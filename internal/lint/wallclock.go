@@ -34,6 +34,10 @@ var wallclockPolicedPackages = []string{
 	"internal/plot",
 	"internal/pmnf",
 	"internal/profile",
+	// serve must pace every deadline and coalescing window through
+	// resilience.Clock — a wall-clock read in a handler or fit loop
+	// would leak nondeterminism into responses.
+	"internal/serve",
 	// propcheck is policed even though it is a math/rand consumer by
 	// design: its engine file carries a sanctioned //edlint:ignore-file
 	// wallclock directive, so the analyzer still guards every OTHER file

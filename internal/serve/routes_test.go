@@ -1,0 +1,203 @@
+package serve_test
+
+// Route-level edge cases the property and golden suites do not reach:
+// the report endpoint, empty-server health, per-request deadlines, the
+// mixed-spool refusal, spool rescans over foreign files, and the serve
+// configuration's own validation.
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"extradeep/internal/serve"
+)
+
+func TestServeReportEndpoint(t *testing.T) {
+	files := makeCampaign(t, defaultRanks, 1, 31)
+	s := startServer(t, serve.Config{})
+	s.mustUpload(t, testApp, contentsOf(files))
+	s.settle(t, testApp)
+
+	status, body := s.do(t, http.MethodGet, "/v1/apps/"+testApp+"/report", nil)
+	if status != http.StatusOK {
+		t.Fatalf("report: status %d, body %s", status, body)
+	}
+	text := string(body)
+	// The rendered report opens with the model section; its full content
+	// is pinned by the pipeline's own tests.
+	if !strings.Contains(text, "application models") {
+		t.Errorf("report missing the model section:\n%s", text)
+	}
+	if len(text) < 100 {
+		t.Errorf("report suspiciously short (%d bytes)", len(text))
+	}
+}
+
+func TestServeHealthEmpty(t *testing.T) {
+	s := startServer(t, serve.Config{})
+	status, body := s.do(t, http.MethodGet, "/v1/health", nil)
+	if status != http.StatusOK {
+		t.Fatalf("health: %d %s", status, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Apps   int    `json:"apps"`
+	}
+	decodeJSON(t, body, &h)
+	if h.Status != "ok" || h.Apps != 0 {
+		t.Errorf("empty-server health = %+v, want ok/0", h)
+	}
+
+	// And the apps listing is an empty array, not null.
+	status, body = s.do(t, http.MethodGet, "/v1/apps", nil)
+	if status != http.StatusOK || !strings.Contains(string(body), `"apps":[]`) {
+		t.Errorf("empty apps listing: %d %s", status, body)
+	}
+}
+
+// TestServeRequestDeadline: with a (pathologically) tiny request budget
+// every route answers the 503 deadline refusal instead of hanging.
+func TestServeRequestDeadline(t *testing.T) {
+	s := startServer(t, serve.Config{RequestTimeout: time.Nanosecond})
+	for _, path := range []string{
+		"/v1/health", "/v1/apps", "/v1/apps/" + testApp + "/status",
+		"/v1/apps/" + testApp + "/models", "/v1/apps/" + testApp + "/report",
+		"/v1/apps/" + testApp + "/predict?x=8",
+	} {
+		status, body := s.do(t, http.MethodGet, path, nil)
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("%s: status %d, want 503; body %s", path, status, body)
+			continue
+		}
+		if code := errorCode(t, body); code != "deadline" {
+			t.Errorf("%s: error code %q, want deadline", path, code)
+		}
+	}
+}
+
+// TestServeTimeoutDisabled: a negative RequestTimeout turns the budget
+// off entirely (the wrapper is not installed).
+func TestServeTimeoutDisabled(t *testing.T) {
+	s := startServer(t, serve.Config{RequestTimeout: -1})
+	if status, body := s.do(t, http.MethodGet, "/v1/health", nil); status != http.StatusOK {
+		t.Fatalf("health with disabled timeout: %d %s", status, body)
+	}
+}
+
+// TestServeMissingX: every equation endpoint refuses a missing or
+// non-positive x the same way.
+func TestServeMissingX(t *testing.T) {
+	files := makeCampaign(t, defaultRanks, 1, 41)
+	s := startServer(t, serve.Config{})
+	s.mustUpload(t, testApp, contentsOf(files))
+	s.settle(t, testApp)
+
+	for _, ep := range []string{"predict", "speedup", "efficiency", "cost"} {
+		for _, q := range []string{"", "?x=0", "?x=banana"} {
+			status, body := s.do(t, http.MethodGet, "/v1/apps/"+testApp+"/"+ep+q, nil)
+			if status != http.StatusBadRequest {
+				t.Errorf("%s%q: status %d, want 400; body %s", ep, q, status, body)
+				continue
+			}
+			if code := errorCode(t, body); code != "bad_request" {
+				t.Errorf("%s%q: error code %q, want bad_request", ep, q, code)
+			}
+		}
+		// Extrapolation flag: x far beyond the measured range is answered,
+		// flagged, never refused.
+		status, body := s.do(t, http.MethodGet, "/v1/apps/"+testApp+"/"+ep+"?x=4096", nil)
+		if status != http.StatusOK {
+			t.Errorf("%s at x=4096: status %d, body %s", ep, status, body)
+			continue
+		}
+		if !strings.Contains(string(body), `"extrapolated":true`) {
+			t.Errorf("%s at x=4096 not flagged extrapolated: %s", ep, body)
+		}
+	}
+}
+
+// TestServeMixedSpool: a spool directory holding both formats (only
+// producible by hand-editing the server's state on disk) marks the
+// application unservable with the dedicated 409.
+func TestServeMixedSpool(t *testing.T) {
+	spool := t.TempDir()
+	appDir := filepath.Join(spool, testApp)
+	if err := os.MkdirAll(appDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, victim := victimProfile(t, 43)
+	if err := os.WriteFile(filepath.Join(appDir, "imdb.x4.mpi0.r1.json"), []byte(victim), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(appDir, "imdb.x8.mpi0.r1.csv"), []byte("not,really,csv"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := startServer(t, serve.Config{SpoolDir: spool})
+	status, body := s.do(t, http.MethodGet, "/v1/apps/"+testApp+"/models", nil)
+	if status != http.StatusConflict {
+		t.Fatalf("mixed spool models: status %d, want 409; body %s", status, body)
+	}
+	if code := errorCode(t, body); code != "conflict_mixed_spool" {
+		t.Fatalf("mixed spool models: code %q, want conflict_mixed_spool", code)
+	}
+	status, body = s.upload(t, testApp, "json", []string{victim})
+	if status != http.StatusConflict {
+		t.Fatalf("mixed spool upload: status %d, want 409; body %s", status, body)
+	}
+	if code := errorCode(t, body); code != "conflict_mixed_spool" {
+		t.Fatalf("mixed spool upload: code %q, want conflict_mixed_spool", code)
+	}
+	// The listing surfaces the condition rather than hiding the app.
+	status, body = s.do(t, http.MethodGet, "/v1/apps/"+testApp+"/status", nil)
+	if status != http.StatusOK || !strings.Contains(string(body), "both json and csv") {
+		t.Errorf("mixed status: %d %s", status, body)
+	}
+}
+
+// TestServeSpoolScanIgnoresForeignFiles: a restart scan skips files that
+// are not profile documents (editor droppings, notes) instead of
+// refusing to boot — and still fits the real ones.
+func TestServeSpoolScanIgnoresForeignFiles(t *testing.T) {
+	spool := t.TempDir()
+	appDir := filepath.Join(spool, testApp)
+	if err := os.MkdirAll(appDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := makeCampaign(t, defaultRanks, 1, 47)
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(appDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, content := range map[string]string{
+		"notes.txt":       "measurement log, do not delete",
+		"badname.json":    "{}",
+		"imdb.x4.tmp.swp": "vim swap",
+	} {
+		if err := os.WriteFile(filepath.Join(appDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := startServer(t, serve.Config{SpoolDir: spool})
+	snap := s.settle(t, testApp)
+	if snap.Profiles != len(files) {
+		t.Errorf("scan fitted %d profiles, want %d (foreign files must be skipped)", snap.Profiles, len(files))
+	}
+}
+
+// TestServeNewValidation: the constructor refuses configurations that
+// cannot serve.
+func TestServeNewValidation(t *testing.T) {
+	if _, err := serve.New(serve.Config{Setup: testSetup(t)}); err == nil {
+		t.Error("New without SpoolDir should fail")
+	}
+	if _, err := serve.New(serve.Config{SpoolDir: t.TempDir()}); err == nil {
+		t.Error("New without Setup should fail")
+	}
+}

@@ -61,7 +61,7 @@ go test -race ./...
 # aggregation and model selection) get an extra stress pass: shuffled test
 # order, run twice, under the race detector, across the deterministic core
 # of the modeling path.
-shuffle_pkgs="./internal/pipeline/... ./internal/aggregate/... ./internal/epoch/... ./internal/modeling/... ./internal/pmnf/... ./internal/analysis/..."
+shuffle_pkgs="./internal/pipeline/... ./internal/aggregate/... ./internal/epoch/... ./internal/modeling/... ./internal/pmnf/... ./internal/analysis/... ./internal/serve/..."
 begin shuffle test "go test -race -shuffle=on -count=2 (pipeline + modeling core)"
 go test -race -shuffle=on -count=2 $shuffle_pkgs
 
@@ -198,6 +198,28 @@ echo "$fit_out" | awk -v ceiling="$fit_alloc_ceiling" '
 		}
 	}
 	END { exit bad }' || { class="budget-exceeded"; exit 1; }
+
+# serve-bench: the modeling service must answer queries from its
+# published snapshot cache, never by re-fitting per request. The stage
+# builds the edserve binary (keeping cmd/edserve honest as a compile
+# target) and runs a 1-client BenchmarkServe smoke — one settled imdb
+# campaign, then 100 predict queries over HTTP — inside a 30-second
+# budget. The run writes its measured req/s and p99 latency to
+# BENCH_serve.json (regenerate the committed 1/4/16-client trajectory
+# with the command recorded inside that file).
+begin serve-bench-build build "go build ./cmd/edserve"
+serve_bin=$(mktemp)
+go build -o "$serve_bin" ./cmd/edserve
+begin serve-bench test "BenchmarkServe/clients=1 -benchtime 100x (30s budget) -> BENCH_serve.json"
+serve_start=$(date +%s)
+EDSERVE_BENCH_OUT="$PWD/BENCH_serve.json" go test -run '^$' -bench 'BenchmarkServe/clients=1$' -benchtime 100x ./internal/serve/
+serve_elapsed=$(($(date +%s) - serve_start))
+echo "serve-bench: smoke run finished in ${serve_elapsed}s"
+if [ "$serve_elapsed" -gt 30 ]; then
+	class="budget-exceeded"
+	echo "serve-bench: smoke run exceeded the 30s budget (${serve_elapsed}s) — the query path is fitting instead of serving from the snapshot cache; profile with 'go test -bench BenchmarkServe -cpuprofile cpu.out ./internal/serve/'" >&2
+	exit 1
+fi
 
 # Fuzz smoke: the ingestion invariant ("valid profile or error — never a
 # panic, never a NaN smuggled into the pipeline") must survive a short
